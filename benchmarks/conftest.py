@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures through
+its driver in ``repro.bench.experiments`` and prints the rendered rows
+(`pytest benchmarks/ --benchmark-only -s` shows them).  Drivers are
+deterministic, so a single measured round per benchmark suffices; the
+value under test is the experiment's *content*, the timing is a bonus.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return _run

@@ -1,0 +1,47 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from repro.bench import (
+    ablation_d_high,
+    ablation_delegate_consensus,
+    ablation_info_swap,
+    ablation_min_label,
+    ablation_rebalance,
+)
+
+
+def test_ablation_delegate_consensus(run_once):
+    out = run_once(ablation_delegate_consensus, nranks=8, scale=0.5)
+    print("\n" + out["text"])
+    rows = {r["consensus"]: r for r in out["rows"]}
+    # Aggregate consensus must not be worse than the min-local rule.
+    assert rows["aggregate"]["L_dist"] <= rows["min_local"]["L_dist"] + 0.15
+
+
+def test_ablation_info_swap(run_once):
+    out = run_once(ablation_info_swap, nranks=8, scale=0.5)
+    print("\n" + out["text"])
+    rows = {r["full_module_info"]: r for r in out["rows"]}
+    assert rows[True]["L_dist"] <= rows[False]["L_dist"] + 0.15
+
+
+def test_ablation_min_label(run_once):
+    out = run_once(ablation_min_label, nranks=8, scale=0.5)
+    print("\n" + out["text"])
+    assert len(out["rows"]) == 2  # both modes terminate
+
+
+def test_ablation_rebalance(run_once):
+    out = run_once(ablation_rebalance, "uk2005", nranks=16, scale=0.5)
+    print("\n" + out["text"])
+    rows = {r["rebalance"]: r for r in out["rows"]}
+    assert rows[True]["imbalance"] <= rows[False]["imbalance"]
+
+
+def test_ablation_d_high(run_once):
+    out = run_once(ablation_d_high, "uk2005", nranks=16, scale=0.5)
+    print("\n" + out["text"])
+    by = {str(r["d_high"]): r for r in out["rows"]}
+    # More aggressive thresholds duplicate more hubs...
+    assert by["8"]["num_hubs"] >= by["128"]["num_hubs"]
+    # ...and disabling delegation entirely leaves the worst balance.
+    assert by[str(1 << 30)]["edge_imbalance"] >= by["p"]["edge_imbalance"]

@@ -1,0 +1,26 @@
+"""Figure 10: relative parallel efficiency."""
+
+from repro.bench import fig10_parallel_efficiency
+
+
+def test_fig10_parallel_efficiency(run_once):
+    out = run_once(
+        fig10_parallel_efficiency,
+        small_datasets=("amazon", "dblp"),
+        large_datasets=("uk2005", "uk2007"),
+        small_ranks=(2, 4, 8),
+        large_ranks=(2, 4, 8, 16),
+        scale_small=0.8,
+        scale_large=0.3,
+    )
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        assert row["efficiency"] > 0.0
+        if row["p"] == min(
+            r["p"] for r in out["rows"] if r["dataset"] == row["dataset"]
+        ):
+            assert row["efficiency"] == 1.0  # baseline normalization
+    # Large graphs hold efficiency better than tiny ones at scale —
+    # at least some large-dataset sweep point stays above 30%.
+    large = [r for r in out["rows"] if r["group"] == "large"]
+    assert max(r["efficiency"] for r in large if r["p"] >= 8) > 0.3

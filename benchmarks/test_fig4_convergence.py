@@ -1,0 +1,18 @@
+"""Figure 4: MDL convergence, sequential vs distributed."""
+
+from repro.bench import fig4_convergence
+
+
+def test_fig4_convergence(run_once):
+    out = run_once(
+        fig4_convergence, ("amazon", "dblp", "ndweb", "youtube"),
+        nranks=4, scale=0.5,
+    )
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        # The paper's claim: distributed MDL converges close to the
+        # sequential value on every quality dataset.
+        assert row["gap_%"] < 12.0, row
+    for name, s in out["series"].items():
+        dist = s["distributed"]
+        assert dist[-1] <= dist[0]  # net convergence

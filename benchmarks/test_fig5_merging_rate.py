@@ -1,0 +1,16 @@
+"""Figure 5: vertex merging rate per outer iteration."""
+
+from repro.bench import fig5_merging_rate
+
+
+def test_fig5_merging_rate(run_once):
+    out = run_once(
+        fig5_merging_rate, ("amazon", "dblp", "ndweb", "youtube"),
+        nranks=4, scale=0.5,
+    )
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        # Paper: the delegate stage merges >= ~50% of vertices in the
+        # first iteration.
+        assert row["first_rate_dist"] >= 0.4, row
+        assert row["first_rate_seq"] >= 0.4, row

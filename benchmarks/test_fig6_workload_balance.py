@@ -1,0 +1,13 @@
+"""Figure 6: per-rank workload, 1D vs delegate partitioning."""
+
+from repro.bench import fig6_workload_balance
+
+
+def test_fig6_workload_balance(run_once):
+    out = run_once(fig6_workload_balance, nranks=32, scale=0.5)
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        # Delegate partitioning must be near-perfectly balanced while
+        # 1D shows a visible max/mean gap on every hubby dataset.
+        assert row["del_imbal"] <= 1.02, row
+        assert row["1d_imbal"] > row["del_imbal"], row

@@ -1,0 +1,12 @@
+"""Figure 7: per-rank ghost counts, 1D vs delegate partitioning."""
+
+from repro.bench import fig7_comm_balance
+
+
+def test_fig7_comm_balance(run_once):
+    out = run_once(fig7_comm_balance, nranks=32, scale=0.5)
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        # Paper: delegate partitioning slashes the worst-rank ghost
+        # count on every large dataset.
+        assert row["max_ratio"] > 1.5, row

@@ -1,0 +1,18 @@
+"""Figure 8: stage-1 per-iteration time breakdown vs rank count."""
+
+from repro.bench import fig8_time_breakdown
+from repro.core import PHASES
+
+
+def test_fig8_time_breakdown(run_once):
+    out = run_once(
+        fig8_time_breakdown, ("uk2005",), nranks_list=(2, 4, 8),
+        scale=0.3,
+    )
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        for ph in PHASES:
+            assert row[ph] >= 0.0
+        # Find Best Module dominates the compute side of an iteration,
+        # matching the paper's breakdown.
+        assert row["find_best_module"] >= row["other"] * 0.2

@@ -1,0 +1,16 @@
+"""Figure 9: modeled total runtime vs simulated rank count."""
+
+from repro.bench import fig9_scalability
+
+
+def test_fig9_scalability(run_once):
+    out = run_once(
+        fig9_scalability, ("uk2005", "uk2007"), nranks_list=(2, 4, 8, 16),
+        scale=0.3,
+    )
+    print("\n" + out["text"])
+    for name, series in out["series"].items():
+        ps = sorted(series)
+        # Paper: total time is near-inversely proportional to p.  The
+        # modeled time at the largest p must clearly beat the smallest.
+        assert series[ps[-1]] < series[ps[0]], (name, series)

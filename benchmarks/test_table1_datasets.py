@@ -1,0 +1,12 @@
+"""Table 1: the dataset inventory (stand-ins vs paper sizes)."""
+
+from repro.bench import table1
+
+
+def test_table1_datasets(run_once):
+    out = run_once(table1, scale=0.5)
+    print("\n" + out["text"])
+    assert len(out["rows"]) == 9
+    # Size ordering of the paper must be preserved by the stand-ins.
+    sizes = {r["name"]: r["standin_E"] for r in out["rows"]}
+    assert sizes["UK-2007"] > sizes["UK-2005"] > sizes["DBLP"]

@@ -1,0 +1,21 @@
+"""Table 3: the delegate algorithm vs the GossipMap-like baseline."""
+
+from repro.bench import table3_speedup
+
+
+def test_table3_speedup(run_once):
+    out = run_once(
+        table3_speedup, ("ndweb", "livejournal", "webbase2001", "uk2007"),
+        nranks=8, scale=0.3,
+    )
+    print("\n" + out["text"])
+    for row in out["rows"]:
+        # The reproducible half of Table 3 at laptop scale is the
+        # quality side: the local-information baseline lands at a
+        # clearly worse codelength on every dataset (the paper's §2.3
+        # argument; the wall-clock side needs 128+ real ranks — see
+        # EXPERIMENTS.md).
+        assert row["quality_gap_%"] > 0.0, row
+        # And the communication mechanism: 1D leaves the baseline with
+        # a larger worst-rank ghost set.
+        assert row["gossip_max_ghosts"] >= row["ours_max_ghosts"], row

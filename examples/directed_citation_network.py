@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Scenario: the directed extension on a web-navigation network.
+
+The paper (§2.2) notes Infomap is natively a directed-flow method and
+that the distributed algorithm extends to directed graphs through the
+PageRank flow model.  This example builds a synthetic web-navigation
+network — sites whose pages link in circulating patterns (home → page →
+page → home), with occasional cross-site links — and clusters it with
+the directed map equation.
+
+It also demonstrates the opposite regime: on an (acyclic)
+citation-style network, directed flow drains toward old papers and the
+directed map equation legitimately fragments the partition — a known
+property of flow-based clustering on DAGs, and the reason one
+symmetrizes such networks first.
+
+Run:  python examples/directed_citation_network.py
+"""
+
+import numpy as np
+
+from repro.core import SequentialInfomap, sequential_infomap_directed
+from repro.graph import digraph_from_edge_array, from_edge_array
+from repro.metrics import nmi
+
+
+def make_navigation_network(
+    sites: int = 8, pages: int = 40, *, seed: int = 0
+):
+    """Directed links with recurrent within-site circulation."""
+    rng = np.random.default_rng(seed)
+    n = sites * pages
+    site_of = np.repeat(np.arange(sites), pages)
+    src, dst = [], []
+    for i in range(n):
+        s = i // pages
+        for _ in range(int(rng.integers(2, 5))):
+            if rng.random() < 0.9:  # stay on site
+                j = s * pages + int(rng.integers(pages))
+            else:  # outbound link
+                j = int(rng.integers(n))
+            if j != i:
+                src.append(i)
+                dst.append(j)
+        # Every page links back to the site's home page: recurrence.
+        src.append(i)
+        dst.append(s * pages)
+    return np.asarray(src, np.int64), np.asarray(dst, np.int64), site_of, n
+
+
+def make_citation_dag(fields: int = 6, papers: int = 60, *, seed: int = 0):
+    """Acyclic citations: always toward older papers, mostly in-field."""
+    rng = np.random.default_rng(seed)
+    n = fields * papers
+    field_of = np.repeat(np.arange(fields), papers)
+    src, dst = [], []
+    for i in range(n):
+        f, age = i // papers, i % papers
+        if age == 0:
+            continue
+        for _ in range(min(int(rng.integers(3, 9)), age)):
+            if rng.random() < 0.85:
+                j = f * papers + int(rng.integers(age))
+            else:
+                j = int(rng.integers(n))
+            if j != i:
+                src.append(i)
+                dst.append(j)
+    return np.asarray(src, np.int64), np.asarray(dst, np.int64), field_of, n
+
+
+def main() -> None:
+    print("--- recurrent flow: web navigation ---")
+    src, dst, truth, n = make_navigation_network(seed=0)
+    digraph = digraph_from_edge_array(src, dst, num_vertices=n)
+    print(f"navigation network: {digraph}  ({np.unique(truth).size} sites)")
+
+    directed = sequential_infomap_directed(digraph)
+    print(f"directed infomap: {directed.summary()}")
+    print(f"  NMI vs sites: {nmi(directed.membership, truth):.3f}")
+
+    print("\n--- draining flow: citation DAG ---")
+    src, dst, truth2, n2 = make_citation_dag(seed=0)
+    dag = digraph_from_edge_array(src, dst, num_vertices=n2)
+    dag_directed = sequential_infomap_directed(dag)
+    sym = from_edge_array(src, dst, num_vertices=n2)
+    dag_undirected = SequentialInfomap().run(sym)
+    print(f"directed on DAG : {dag_directed.summary()}")
+    print(f"  NMI vs fields: {nmi(dag_directed.membership, truth2):.3f}"
+          "   (flow drains to sinks -> fragmentation)")
+    print(f"symmetrized     : {dag_undirected.summary()}")
+    print(f"  NMI vs fields: {nmi(dag_undirected.membership, truth2):.3f}"
+          "   (the right tool for acyclic citation data)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: community quality on a social network with ground truth.
+
+Runs the full method zoo — sequential Infomap, distributed Infomap,
+the GossipMap-like local baseline, RelaxMap-like shared-memory Infomap,
+Louvain and label propagation — on the LiveJournal stand-in, and scores
+every partition against the planted ground truth (NMI / best-match
+F-measure / Jaccard, the paper's Table-2 metrics) plus modularity and
+map-equation codelength.
+
+This is the Table 2 / §2.3 story in one run: map-equation methods with
+full information win on MDL; the local-information baseline trades
+quality for locality; Louvain optimizes a different objective well.
+
+Run:  python examples/social_network_quality.py
+"""
+
+from repro import load_dataset
+from repro.baselines import gossipmap, label_propagation, louvain, relaxmap
+from repro.core import DistributedInfomap, SequentialInfomap
+from repro.metrics import (
+    best_match_f_measure,
+    best_match_jaccard,
+    modularity,
+    nmi,
+)
+
+
+def main() -> None:
+    data = load_dataset("livejournal", seed=0, scale=0.5)
+    graph, truth = data.graph, data.labels
+    print(f"LiveJournal stand-in: {graph}\n")
+
+    runs = {
+        "sequential infomap": SequentialInfomap().run(graph),
+        "distributed (p=8)": DistributedInfomap(nranks=8).run(graph),
+        "gossipmap-like (p=8)": gossipmap(graph, 8),
+        "relaxmap-like (4 wk)": relaxmap(graph, 4),
+        "louvain": louvain(graph),
+        "label propagation": label_propagation(graph),
+    }
+
+    header = (
+        f"{'method':22s} {'modules':>8} {'L (bits)':>9} {'Q':>7} "
+        f"{'NMI':>6} {'F':>6} {'JI':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, res in runs.items():
+        L = f"{res.codelength:.3f}" if res.codelength == res.codelength else "-"
+        print(
+            f"{name:22s} {res.num_modules:>8} {L:>9} "
+            f"{modularity(graph, res.membership):>7.3f} "
+            f"{nmi(res.membership, truth):>6.3f} "
+            f"{best_match_f_measure(res.membership, truth):>6.3f} "
+            f"{best_match_jaccard(res.membership, truth):>6.3f}"
+        )
+
+    print(
+        "\nReading: lower L is better (map equation); higher Q/NMI/F/JI "
+        "is better.\nThe distributed algorithm should track sequential "
+        "Infomap closely while the\nlocal-information baseline gives up "
+        "codelength — the paper's core quality claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

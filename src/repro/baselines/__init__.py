@@ -1,0 +1,15 @@
+"""Baseline algorithms the paper compares against (or descends from)."""
+
+from .gossipmap import gossipmap
+from .labelprop import LabelPropConfig, label_propagation
+from .louvain import LouvainConfig, louvain
+from .relaxmap import relaxmap
+
+__all__ = [
+    "LabelPropConfig",
+    "LouvainConfig",
+    "gossipmap",
+    "label_propagation",
+    "louvain",
+    "relaxmap",
+]

@@ -1,0 +1,46 @@
+"""Benchmark harness: drivers for every paper table/figure + reporting."""
+
+from .experiments import (
+    QUALITY_DATASETS,
+    ablation_d_high,
+    ablation_delegate_consensus,
+    ablation_info_swap,
+    ablation_min_label,
+    ablation_rebalance,
+    fig4_convergence,
+    fig5_merging_rate,
+    fig6_workload_balance,
+    fig7_comm_balance,
+    fig8_time_breakdown,
+    fig9_scalability,
+    fig10_parallel_efficiency,
+    table1,
+    table2_quality,
+    table3_speedup,
+)
+from .export import result_to_json, rows_to_csv
+from .report import format_value, render_series, render_table
+
+__all__ = [
+    "QUALITY_DATASETS",
+    "ablation_d_high",
+    "ablation_delegate_consensus",
+    "ablation_info_swap",
+    "ablation_min_label",
+    "ablation_rebalance",
+    "fig4_convergence",
+    "fig5_merging_rate",
+    "fig6_workload_balance",
+    "fig7_comm_balance",
+    "fig8_time_breakdown",
+    "fig9_scalability",
+    "fig10_parallel_efficiency",
+    "format_value",
+    "render_series",
+    "render_table",
+    "result_to_json",
+    "rows_to_csv",
+    "table1",
+    "table2_quality",
+    "table3_speedup",
+]

@@ -1,0 +1,629 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver regenerates the rows/series its figure or table reports —
+same datasets (stand-ins), same quantities, same comparisons — and
+returns ``{"rows": …, "series": …, "text": …}`` where ``text`` is the
+rendered report.  The pytest-benchmark modules in ``benchmarks/`` call
+these drivers; EXPERIMENTS.md records their output next to the paper's
+numbers.
+
+Scale notes: the stand-ins are ~1/2000 of the paper's datasets and the
+simulated rank counts sweep 2–32 instead of 16–4096.  Per DESIGN.md the
+*shapes* (who wins, how curves bend) are the reproduction target, not
+absolute seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..baselines.gossipmap import gossipmap
+from ..core.config import InfomapConfig
+from ..core.distributed import distributed_infomap
+from ..core.sequential import sequential_infomap
+from ..core.timing import PHASES
+from ..graph.datasets import (
+    DATASET_SPECS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    load_dataset,
+)
+from ..graph.degree import degree_summary
+from ..metrics.comparison import compare_partitions
+from ..partition.balance import compare_partitions as compare_partitionings
+from .report import render_series, render_table
+
+__all__ = [
+    "table1",
+    "fig4_convergence",
+    "fig5_merging_rate",
+    "table2_quality",
+    "fig6_workload_balance",
+    "fig7_comm_balance",
+    "fig8_time_breakdown",
+    "fig9_scalability",
+    "fig10_parallel_efficiency",
+    "table3_speedup",
+    "ablation_delegate_consensus",
+    "ablation_info_swap",
+    "ablation_min_label",
+    "ablation_rebalance",
+    "ablation_d_high",
+]
+
+#: Figure 4/5 dataset group (the paper's quality plots).
+QUALITY_DATASETS = ("amazon", "dblp", "ndweb", "youtube")
+
+_DEF_SEED = 0
+
+
+def _modeled_total(res: Any) -> float:
+    return float(res.extras["modeled"]["total"])
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — datasets
+# ---------------------------------------------------------------------------
+
+def table1(*, scale: float = 1.0, seed: int = _DEF_SEED) -> dict[str, Any]:
+    """Table 1: the dataset inventory (paper sizes vs stand-in sizes)."""
+    rows = []
+    for name, spec in DATASET_SPECS.items():
+        data = load_dataset(name, seed=seed, scale=scale)
+        summ = degree_summary(data.graph)
+        rows.append(
+            {
+                "name": spec.paper_name,
+                "paper_V": spec.paper_vertices,
+                "paper_E": spec.paper_edges,
+                "standin_V": data.graph.num_vertices,
+                "standin_E": data.graph.num_edges,
+                "max_deg": summ.max_degree,
+                "alpha": summ.powerlaw_alpha or float("nan"),
+                "gini": summ.gini,
+                "ground_truth": data.has_ground_truth,
+            }
+        )
+    return {"rows": rows, "text": render_table(rows, title="Table 1: datasets")}
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — MDL convergence, sequential vs distributed
+# ---------------------------------------------------------------------------
+
+def fig4_convergence(
+    datasets: Sequence[str] = QUALITY_DATASETS,
+    *,
+    nranks: int = 4,
+    scale: float = 1.0,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Figure 4: per-iteration MDL of both algorithms on four datasets.
+
+    The reproduction criterion is the paper's: the distributed MDL
+    converges, and its converged value is close to the sequential one.
+    """
+    cfg = config or InfomapConfig()
+    series: dict[str, dict[str, list[float]]] = {}
+    rows = []
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        seq = sequential_infomap(data.graph, cfg)
+        dist = distributed_infomap(data.graph, nranks, cfg)
+        seq_traj = [seq.levels[0].codelength_before] + seq.codelength_trajectory()
+        dist_traj = list(dist.extras["codelength_history"])
+        series[name] = {"sequential": seq_traj, "distributed": dist_traj}
+        rows.append(
+            {
+                "dataset": name,
+                "L_seq": seq.codelength,
+                "L_dist": dist.codelength,
+                "gap_%": 100.0 * (dist.codelength - seq.codelength)
+                / seq.codelength,
+                "iters_seq": len(seq_traj),
+                "iters_dist": len(dist_traj),
+            }
+        )
+    text = [render_table(rows, title=f"Figure 4: converged MDL (p={nranks})")]
+    for name, s in series.items():
+        text.append(render_series(
+            f"{name} sequential MDL", range(len(s["sequential"])),
+            s["sequential"], xlabel="iter", ylabel="L",
+        ))
+        text.append(render_series(
+            f"{name} distributed MDL", range(len(s["distributed"])),
+            s["distributed"], xlabel="iter", ylabel="L",
+        ))
+    return {"rows": rows, "series": series, "text": "\n\n".join(text)}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — vertex merging rate
+# ---------------------------------------------------------------------------
+
+def fig5_merging_rate(
+    datasets: Sequence[str] = QUALITY_DATASETS,
+    *,
+    nranks: int = 4,
+    scale: float = 1.0,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Figure 5: per-outer-iteration merge rate, sequential vs distributed.
+
+    Paper finding to reproduce: the distributed first iteration (the
+    delegate stage) merges ≈50% or more of the vertices.
+    """
+    cfg = config or InfomapConfig()
+    series: dict[str, dict[str, list[float]]] = {}
+    rows = []
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        seq = sequential_infomap(data.graph, cfg)
+        dist = distributed_infomap(data.graph, nranks, cfg)
+        series[name] = {
+            "sequential": seq.merge_rates(),
+            "distributed": dist.merge_rates(),
+        }
+        rows.append(
+            {
+                "dataset": name,
+                "first_rate_seq": seq.merge_rates()[0],
+                "first_rate_dist": dist.merge_rates()[0],
+                "levels_seq": len(seq.levels),
+                "levels_dist": len(dist.levels),
+            }
+        )
+    text = [render_table(rows, title=f"Figure 5: merge rates (p={nranks})")]
+    for name, s in series.items():
+        text.append(render_series(
+            f"{name} merge rate (seq)", range(len(s["sequential"])),
+            s["sequential"], xlabel="level", ylabel="rate",
+        ))
+        text.append(render_series(
+            f"{name} merge rate (dist)", range(len(s["distributed"])),
+            s["distributed"], xlabel="level", ylabel="rate",
+        ))
+    return {"rows": rows, "series": series, "text": "\n\n".join(text)}
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — quality measurements
+# ---------------------------------------------------------------------------
+
+def table2_quality(
+    datasets: Sequence[str] = ("dblp", "amazon"),
+    *,
+    nranks: int = 4,
+    scale: float = 1.0,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Table 2: NMI / F-measure / JI of the distributed result against
+    the sequential result (the paper's reference partition), plus the
+    planted ground truth where the stand-in has one."""
+    cfg = config or InfomapConfig()
+    rows = []
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        seq = sequential_infomap(data.graph, cfg)
+        dist = distributed_infomap(data.graph, nranks, cfg)
+        rep = compare_partitions(dist.membership, seq.membership)
+        row = {"dataset": name, **rep.row()}
+        if data.has_ground_truth:
+            truth = compare_partitions(dist.membership, data.labels)
+            row["NMI_truth"] = round(truth.nmi, 4)
+        rows.append(row)
+    return {
+        "rows": rows,
+        "text": render_table(
+            rows, title=f"Table 2: quality vs sequential (p={nranks})"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-7 — workload and communication balance
+# ---------------------------------------------------------------------------
+
+def fig6_workload_balance(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    nranks: int = 16,
+    scale: float = 1.0,
+    seed: int = _DEF_SEED,
+) -> dict[str, Any]:
+    """Figure 6: per-rank edge counts, 1D vs delegate partitioning."""
+    rows = []
+    per_rank: dict[str, dict[str, list[int]]] = {}
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        cmp = compare_partitionings(data.graph, nranks)
+        per_rank[name] = {
+            "1d": cmp.workload_1d.per_rank.tolist(),
+            "delegate": cmp.workload_delegate.per_rank.tolist(),
+        }
+        rows.append(
+            {
+                "dataset": name,
+                "1d_min": cmp.workload_1d.min,
+                "1d_max": cmp.workload_1d.max,
+                "1d_imbal": cmp.workload_1d.imbalance,
+                "del_min": cmp.workload_delegate.min,
+                "del_max": cmp.workload_delegate.max,
+                "del_imbal": cmp.workload_delegate.imbalance,
+                "max_ratio": cmp.workload_improvement(),
+            }
+        )
+    return {
+        "rows": rows,
+        "per_rank": per_rank,
+        "text": render_table(
+            rows, title=f"Figure 6: workload balance (p={nranks})"
+        ),
+    }
+
+
+def fig7_comm_balance(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    nranks: int = 16,
+    scale: float = 1.0,
+    seed: int = _DEF_SEED,
+) -> dict[str, Any]:
+    """Figure 7: per-rank ghost-vertex counts, 1D vs delegate."""
+    rows = []
+    per_rank: dict[str, dict[str, list[int]]] = {}
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        cmp = compare_partitionings(data.graph, nranks)
+        per_rank[name] = {
+            "1d": cmp.ghosts_1d.per_rank.tolist(),
+            "delegate": cmp.ghosts_delegate.per_rank.tolist(),
+        }
+        rows.append(
+            {
+                "dataset": name,
+                "1d_min": cmp.ghosts_1d.min,
+                "1d_max": cmp.ghosts_1d.max,
+                "del_min": cmp.ghosts_delegate.min,
+                "del_max": cmp.ghosts_delegate.max,
+                "max_ratio": cmp.ghost_improvement(),
+            }
+        )
+    return {
+        "rows": rows,
+        "per_rank": per_rank,
+        "text": render_table(
+            rows, title=f"Figure 7: communication balance (p={nranks})"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — per-iteration time breakdown
+# ---------------------------------------------------------------------------
+
+def fig8_time_breakdown(
+    datasets: Sequence[str] = ("uk2005", "webbase2001"),
+    *,
+    nranks_list: Sequence[int] = (2, 4, 8, 16),
+    scale: float = 0.35,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Figure 8: stage-1 per-iteration seconds per component vs ranks.
+
+    Components match the paper: Find Best Module, Broadcast Delegates,
+    Swap Boundary Information, Other.  Values are the busiest rank's
+    stage-1 phase seconds divided by the stage-1 round count.
+    """
+    cfg = config or InfomapConfig()
+    rows = []
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        for p in nranks_list:
+            res = distributed_infomap(data.graph, p, cfg)
+            rounds = max(1, res.extras["stage1_rounds"])
+            phase = res.extras["phase_seconds_max"]
+            row: dict[str, Any] = {"dataset": name, "p": p, "rounds": rounds}
+            for ph in PHASES:
+                row[ph] = phase.get(ph, 0.0) / rounds
+            rows.append(row)
+    return {
+        "rows": rows,
+        "text": render_table(
+            rows, title="Figure 8: stage-1 per-iteration time breakdown (s)"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-10 — scalability and parallel efficiency
+# ---------------------------------------------------------------------------
+
+def fig9_scalability(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    nranks_list: Sequence[int] = (2, 4, 8, 16),
+    scale: float = 0.35,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Figure 9: modeled total runtime vs rank count, per dataset.
+
+    The modeled time (BSP critical path from exact work counters and
+    byte meters, see ``repro.simmpi.costmodel``) is the scaling
+    quantity; raw wall seconds are reported alongside but carry GIL
+    serialization and are not expected to scale.
+    """
+    cfg = config or InfomapConfig()
+    rows = []
+    series: dict[str, dict[int, float]] = {}
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        series[name] = {}
+        for p in nranks_list:
+            res = distributed_infomap(data.graph, p, cfg)
+            modeled = _modeled_total(res)
+            series[name][p] = modeled
+            rows.append(
+                {
+                    "dataset": name,
+                    "p": p,
+                    "modeled_s": modeled,
+                    "stage1_s": res.extras["stage1_seconds_max"],
+                    "total_wall_s": res.extras["total_seconds_max"],
+                    "stage1_work": res.extras["stage1_work_max"],
+                    "total_work": res.extras["total_work_max"],
+                    "L": res.codelength,
+                }
+            )
+    text = [render_table(rows, title="Figure 9: scalability")]
+    for name, s in series.items():
+        ps = sorted(s)
+        text.append(render_series(
+            f"{name} modeled time", ps, [s[p] for p in ps],
+            xlabel="ranks", ylabel="seconds",
+        ))
+    return {"rows": rows, "series": series, "text": "\n\n".join(text)}
+
+
+def fig10_parallel_efficiency(
+    *,
+    small_datasets: Sequence[str] = SMALL_DATASETS + ("youtube",),
+    large_datasets: Sequence[str] = LARGE_DATASETS,
+    small_ranks: Sequence[int] = (2, 4, 8),
+    large_ranks: Sequence[int] = (2, 4, 8, 16),
+    scale_small: float = 1.0,
+    scale_large: float = 0.35,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Figure 10: relative parallel efficiency τ = p₁T(p₁)/(p₂T(p₂)).
+
+    The baseline p₁ is the smallest rank count in each sweep (the paper
+    likewise baselines each dataset at the smallest feasible machine
+    size).  T is the modeled time.
+    """
+    cfg = config or InfomapConfig()
+    rows = []
+    series: dict[str, dict[int, float]] = {}
+
+    def sweep(names: Sequence[str], ranks: Sequence[int], scale: float,
+              group: str) -> None:
+        for name in names:
+            data = load_dataset(name, seed=seed, scale=scale)
+            times: dict[int, float] = {}
+            for p in ranks:
+                res = distributed_infomap(data.graph, p, cfg)
+                times[p] = _modeled_total(res)
+            p1 = min(times)
+            eff = {p: (p1 * times[p1]) / (p * times[p]) for p in times}
+            series[name] = eff
+            for p in sorted(eff):
+                rows.append(
+                    {"group": group, "dataset": name, "p": p,
+                     "efficiency": eff[p], "modeled_s": times[p]}
+                )
+
+    sweep(small_datasets, small_ranks, scale_small, "small")
+    sweep(large_datasets, large_ranks, scale_large, "large")
+    return {
+        "rows": rows,
+        "series": series,
+        "text": render_table(rows, title="Figure 10: parallel efficiency"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — speedup over GossipMap
+# ---------------------------------------------------------------------------
+
+def table3_speedup(
+    datasets: Sequence[str] = ("ndweb", "livejournal", "webbase2001", "uk2007"),
+    *,
+    nranks: int = 8,
+    scale: float = 0.35,
+    seed: int = _DEF_SEED,
+    config: InfomapConfig | None = None,
+) -> dict[str, Any]:
+    """Table 3: modeled-time speedup of the delegate algorithm over the
+    GossipMap-like baseline, per dataset.
+
+    The paper's Table 3 claims 1.08× (ND-Web) to 6.02× (UK-2007)
+    wall-clock speedup at comparable quality.  At simulation scale the
+    runtime side is scale-gated (it needs hub adjacency lists larger
+    than a rank's fair share, which needs the paper's 128-4096 ranks),
+    so this driver reports both sides of the comparison explicitly:
+    modeled times AND the codelength gap — the local-information
+    baseline converges quickly to a substantially *worse* MDL (the
+    §2.3 quality argument), while the per-rank communication imbalance
+    that drives the paper's runtime gap is shown in Figure 7."""
+    cfg = config or InfomapConfig()
+    rows = []
+    for name in datasets:
+        data = load_dataset(name, seed=seed, scale=scale)
+        ours = distributed_infomap(data.graph, nranks, cfg)
+        base = gossipmap(data.graph, nranks, cfg)
+        t_ours = _modeled_total(ours)
+        t_base = _modeled_total(base)
+        rows.append(
+            {
+                "dataset": name,
+                "edges": data.graph.num_edges,
+                "ours_modeled_s": t_ours,
+                "gossip_modeled_s": t_base,
+                "time_ratio": t_base / t_ours if t_ours > 0 else float("inf"),
+                "ours_rounds": ours.extras["stage1_rounds"],
+                "gossip_rounds": base.extras["stage1_rounds"],
+                "L_ours": ours.codelength,
+                "L_gossip": base.codelength,
+                "quality_gap_%": 100.0
+                * (base.codelength - ours.codelength) / ours.codelength,
+                "gossip_max_ghosts": int(
+                    max(base.extras["ghosts_per_rank"])
+                ),
+                "ours_max_ghosts": int(max(ours.extras["ghosts_per_rank"])),
+            }
+        )
+    return {
+        "rows": rows,
+        "text": render_table(
+            rows, title=f"Table 3: speedup over GossipMap-like baseline (p={nranks})"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out)
+# ---------------------------------------------------------------------------
+
+def _quality_run(
+    name: str, cfg: InfomapConfig, *, nranks: int, scale: float, seed: int,
+    nseeds: int = 3,
+) -> dict[str, Any]:
+    """Average quality over *nseeds* graph seeds — single greedy
+    trajectories on small graphs are noisy enough to flip orderings."""
+    acc: dict[str, float] = {}
+    for s_ in range(seed, seed + nseeds):
+        data = load_dataset(name, seed=s_, scale=scale)
+        seq = sequential_infomap(data.graph, cfg)
+        dist = distributed_infomap(data.graph, nranks, cfg)
+        row = {
+            "L_seq": seq.codelength,
+            "L_dist": dist.codelength,
+            "gap_%": 100.0 * (dist.codelength - seq.codelength)
+            / seq.codelength,
+            "nmi_vs_seq": compare_partitions(
+                dist.membership, seq.membership
+            ).nmi,
+            "rounds": float(dist.extras["stage1_rounds"]),
+            "modeled_s": _modeled_total(dist),
+        }
+        for k, v in row.items():
+            acc[k] = acc.get(k, 0.0) + v / nseeds
+    return acc
+
+
+def ablation_delegate_consensus(
+    dataset: str = "youtube", *, nranks: int = 8, scale: float = 1.0,
+    seed: int = _DEF_SEED,
+) -> dict[str, Any]:
+    """Aggregate (global hub flows) vs min-local (paper-literal) consensus.
+
+    Uses the paper-literal ``d_high = p`` so a substantial fraction of
+    vertices is actually delegated — under the adaptive threshold the
+    two consensus modes rarely disagree because few hubs exist."""
+    rows = []
+    for mode in ("aggregate", "min_local"):
+        cfg = InfomapConfig(delegate_consensus=mode, d_high=nranks)
+        rows.append({"consensus": mode, **_quality_run(
+            dataset, cfg, nranks=nranks, scale=scale, seed=seed)})
+    return {"rows": rows, "text": render_table(
+        rows, title=f"Ablation: delegate consensus ({dataset}, p={nranks})")}
+
+
+def ablation_info_swap(
+    dataset: str = "youtube", *, nranks: int = 8, scale: float = 1.0,
+    seed: int = _DEF_SEED,
+) -> dict[str, Any]:
+    """Full Module_Info swap (Algorithm 3) vs boundary-ID-only exchange."""
+    rows = []
+    for full in (True, False):
+        cfg = InfomapConfig(full_module_info=full)
+        rows.append({"full_module_info": full, **_quality_run(
+            dataset, cfg, nranks=nranks, scale=scale, seed=seed)})
+    return {"rows": rows, "text": render_table(
+        rows, title=f"Ablation: information swap ({dataset}, p={nranks})")}
+
+
+def ablation_min_label(
+    dataset: str = "youtube", *, nranks: int = 8, scale: float = 1.0,
+    seed: int = _DEF_SEED,
+) -> dict[str, Any]:
+    """Min-label anti-bouncing on vs off (the convergence guard)."""
+    rows = []
+    for ml in (True, False):
+        cfg = InfomapConfig(min_label=ml)
+        rows.append({"min_label": ml, **_quality_run(
+            dataset, cfg, nranks=nranks, scale=scale, seed=seed)})
+    return {"rows": rows, "text": render_table(
+        rows, title=f"Ablation: min-label strategy ({dataset}, p={nranks})")}
+
+
+def ablation_rebalance(
+    dataset: str = "uk2005", *, nranks: int = 16, scale: float = 1.0,
+    seed: int = _DEF_SEED,
+) -> dict[str, Any]:
+    """Partition-rebalancing step (§3.3 step 4) on vs off."""
+    from ..partition.delegates import delegate_partition
+
+    data = load_dataset(dataset, seed=seed, scale=scale)
+    rows = []
+    for rb in (True, False):
+        dp = delegate_partition(data.graph, nranks, rebalance=rb)
+        epr = dp.edges_per_rank()
+        rows.append(
+            {
+                "rebalance": rb,
+                "min_edges": int(epr.min()),
+                "max_edges": int(epr.max()),
+                "imbalance": float(epr.max() / epr.mean()),
+            }
+        )
+    return {"rows": rows, "text": render_table(
+        rows, title=f"Ablation: rebalancing ({dataset}, p={nranks})")}
+
+
+def ablation_d_high(
+    dataset: str = "uk2005", *, nranks: int = 16, scale: float = 1.0,
+    seed: int = _DEF_SEED,
+    thresholds: Sequence[int | None] = (None, 8, 32, 128, 1 << 30),
+) -> dict[str, Any]:
+    """Delegate threshold sweep: hubs duplicated vs balance achieved.
+
+    ``None`` is the paper default (d_high = p); ``1<<30`` disables
+    delegation entirely (pure 1D behaviour)."""
+    from ..partition.delegates import delegate_partition
+
+    data = load_dataset(dataset, seed=seed, scale=scale)
+    rows = []
+    for dh in thresholds:
+        dp = delegate_partition(data.graph, nranks, d_high=dh)
+        epr = dp.edges_per_rank()
+        gc = dp.ghost_counts()
+        rows.append(
+            {
+                "d_high": "p" if dh is None else dh,
+                "num_hubs": dp.num_hubs,
+                "edge_imbalance": float(epr.max() / epr.mean()),
+                "max_ghosts": int(gc.max()),
+            }
+        )
+    return {"rows": rows, "text": render_table(
+        rows, title=f"Ablation: d_high sweep ({dataset}, p={nranks})")}

@@ -1,0 +1,54 @@
+"""Export experiment results to CSV/JSON for external plotting.
+
+The drivers return dict-rows; these helpers write them in the two
+formats plotting pipelines expect, keeping the benchmark harness
+self-contained (no pandas/matplotlib dependencies).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["rows_to_csv", "result_to_json"]
+
+
+def rows_to_csv(rows: Sequence[dict[str, Any]], path: "str | Path") -> None:
+    """Write dict-rows as CSV; the header is the union of keys in
+    first-appearance order (missing cells stay empty)."""
+    if not rows:
+        raise ValueError("no rows to export")
+    cols: list[str] = []
+    for r in rows:
+        for k in r:
+            if k not in cols:
+                cols.append(k)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def result_to_json(result: dict[str, Any], path: "str | Path") -> None:
+    """Write a driver's full result (rows + series, not the rendered
+    text) as JSON for downstream tooling."""
+    payload = {k: v for k, v in result.items() if k != "text"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=_coerce)
+
+
+def _coerce(obj: Any) -> Any:
+    """JSON fallback for numpy scalars/arrays."""
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    raise TypeError(f"not JSON serializable: {type(obj)}")

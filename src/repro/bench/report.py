@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns structured dicts; these helpers turn
+them into the aligned tables and series the paper's figures/tables
+show, so ``pytest benchmarks/`` output and EXPERIMENTS.md read the same
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(v: Any) -> str:
+    """Human-compact formatting: floats to 4 significant digits, large
+    ints with thousands separators."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    if isinstance(v, int) and abs(v) >= 10000:
+        return f"{v:,}"
+    return str(v)
+
+
+def render_table(
+    rows: Sequence[dict[str, Any]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    Column order follows *columns* if given, else first-row key order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[format_value(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Iterable[Any], ys: Iterable[Any], *, xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    pairs = list(zip(xs, ys))
+    lines = [f"{name}  [{xlabel} -> {ylabel}]"]
+    for x, y in pairs:
+        lines.append(f"  {format_value(x):>10}  {format_value(y)}")
+    return "\n".join(lines)

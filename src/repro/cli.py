@@ -1,0 +1,204 @@
+"""Command-line interface: ``repro-infomap`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``cluster``   — run sequential / distributed Infomap (or a baseline)
+  on an edge-list file or a named dataset stand-in and write the
+  partition.
+* ``partition`` — compare 1D vs delegate partitioning for a graph.
+* ``bench``     — regenerate one of the paper's tables/figures.
+* ``datasets``  — list the available Table-1 stand-ins.
+
+Examples::
+
+    repro-infomap cluster --dataset dblp --method distributed --ranks 8
+    repro-infomap cluster --input graph.txt --method sequential -o out.tsv
+    repro-infomap partition --dataset uk2005 --ranks 32
+    repro-infomap bench --experiment fig7 --ranks 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-infomap",
+        description="Distributed Infomap (ICPP 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(p: argparse.ArgumentParser) -> None:
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument("--input", help="edge-list file (u v [w] per line)")
+        src.add_argument("--dataset", help="named Table-1 stand-in")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="dataset stand-in scale factor")
+        p.add_argument("--seed", type=int, default=0)
+
+    pc = sub.add_parser("cluster", help="run community detection")
+    add_graph_source(pc)
+    pc.add_argument(
+        "--method",
+        choices=["sequential", "distributed", "louvain", "labelprop",
+                 "gossipmap", "relaxmap"],
+        default="sequential",
+    )
+    pc.add_argument("--ranks", type=int, default=4,
+                    help="simulated MPI ranks (distributed/gossipmap)")
+    pc.add_argument("--output", "-o", help="write 'vertex<TAB>module' here")
+    pc.add_argument("--d-high", type=int, default=None,
+                    help="delegate degree threshold (default: adaptive)")
+
+    pp = sub.add_parser("partition", help="compare 1D vs delegate partitioning")
+    add_graph_source(pp)
+    pp.add_argument("--ranks", type=int, default=16)
+    pp.add_argument("--d-high", type=int, default=None)
+
+    pb = sub.add_parser("bench", help="regenerate a paper table/figure")
+    pb.add_argument(
+        "--experiment",
+        required=True,
+        choices=["table1", "fig4", "fig5", "table2", "fig6", "fig7",
+                 "fig8", "fig9", "fig10", "table3"],
+    )
+    pb.add_argument("--ranks", type=int, default=None)
+    pb.add_argument("--scale", type=float, default=None)
+    pb.add_argument("--seed", type=int, default=0)
+    pb.add_argument("--output", "-o",
+                    help="also export rows (.csv) or the full result (.json)")
+
+    sub.add_parser("datasets", help="list the dataset stand-ins")
+    return parser
+
+
+def _load_graph(args: argparse.Namespace):
+    from .graph import load_dataset, read_edgelist
+
+    if args.dataset:
+        data = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+        return data.graph, data.labels
+    graph = read_edgelist(args.input)
+    return graph, None
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .baselines import gossipmap, label_propagation, louvain, relaxmap
+    from .core import InfomapConfig, distributed_infomap, sequential_infomap
+    from .metrics import nmi
+
+    graph, labels = _load_graph(args)
+    cfg = InfomapConfig(seed=args.seed, d_high=args.d_high)
+    if args.method == "sequential":
+        result = sequential_infomap(graph, cfg)
+    elif args.method == "distributed":
+        result = distributed_infomap(graph, args.ranks, cfg)
+    elif args.method == "gossipmap":
+        result = gossipmap(graph, args.ranks, cfg)
+    elif args.method == "louvain":
+        result = louvain(graph)
+    elif args.method == "labelprop":
+        result = label_propagation(graph)
+    else:
+        result = relaxmap(graph, args.ranks)
+
+    print(result.summary())
+    if labels is not None:
+        print(f"NMI vs ground truth: {nmi(result.membership, labels):.4f}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for v, m in enumerate(result.membership.tolist()):
+                fh.write(f"{v}\t{m}\n")
+        print(f"partition written to {args.output}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .partition import compare_partitions
+
+    graph, _ = _load_graph(args)
+    cmp = compare_partitions(graph, args.ranks, d_high=args.d_high)
+    print(f"p={cmp.nranks}  d_high={cmp.d_high}  hubs={cmp.num_hubs}")
+    print(cmp.workload_1d)
+    print(cmp.workload_delegate)
+    print(cmp.ghosts_1d)
+    print(cmp.ghosts_delegate)
+    print(f"workload max improvement: {cmp.workload_improvement():.2f}x")
+    print(f"ghost max improvement:    {cmp.ghost_improvement():.2f}x")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    drivers = {
+        "table1": bench.table1,
+        "fig4": bench.fig4_convergence,
+        "fig5": bench.fig5_merging_rate,
+        "table2": bench.table2_quality,
+        "fig6": bench.fig6_workload_balance,
+        "fig7": bench.fig7_comm_balance,
+        "fig8": bench.fig8_time_breakdown,
+        "fig9": bench.fig9_scalability,
+        "fig10": bench.fig10_parallel_efficiency,
+        "table3": bench.table3_speedup,
+    }
+    fn = drivers[args.experiment]
+    kwargs: dict = {"seed": args.seed}
+    if args.scale is not None:
+        if args.experiment == "fig10":
+            kwargs["scale_large"] = args.scale
+        else:
+            kwargs["scale"] = args.scale
+    if args.ranks is not None:
+        if args.experiment in ("fig8", "fig9"):
+            kwargs["nranks_list"] = (args.ranks,)
+        elif args.experiment not in ("table1", "fig10"):
+            kwargs["nranks"] = args.ranks
+    out = fn(**kwargs)
+    print(out["text"])
+    if args.output:
+        from .bench import result_to_json, rows_to_csv
+
+        if str(args.output).endswith(".json"):
+            result_to_json(out, args.output)
+        else:
+            rows_to_csv(out["rows"], args.output)
+        print(f"exported to {args.output}")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from .graph import DATASET_SPECS
+
+    for name, spec in DATASET_SPECS.items():
+        print(
+            f"{name:14s} {spec.paper_name:14s} paper: "
+            f"{spec.paper_vertices:>8s} V, {spec.paper_edges:>7s} E — "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Core: map-equation machinery and the Infomap algorithms."""
+
+from .config import InfomapConfig
+from .directed import (
+    DirectedFlowNetwork,
+    DirectedModuleStats,
+    directed_delta,
+    sequential_infomap_directed,
+)
+from .distributed import DistributedInfomap, distributed_infomap
+from .flow import FlowNetwork, pagerank_flow
+from .mapequation import (
+    ModuleStats,
+    codelength_terms,
+    delta_codelength,
+    delta_from_values,
+    plogp,
+)
+from .moves import MoveProposal, best_move, neighbor_module_flows
+from .result import ClusteringResult, LevelRecord
+from .sequential import SequentialInfomap, cluster_level, sequential_infomap
+from .swap import Contribution, LocalModuleState, ModuleInfo
+from .timing import (
+    PHASE_BROADCAST_DELEGATES,
+    PHASE_FIND_BEST,
+    PHASE_OTHER,
+    PHASE_SWAP_BOUNDARY,
+    PHASES,
+    PhaseTimer,
+)
+
+__all__ = [
+    "ClusteringResult",
+    "Contribution",
+    "DirectedFlowNetwork",
+    "DirectedModuleStats",
+    "directed_delta",
+    "sequential_infomap_directed",
+    "DistributedInfomap",
+    "FlowNetwork",
+    "InfomapConfig",
+    "LevelRecord",
+    "LocalModuleState",
+    "ModuleInfo",
+    "ModuleStats",
+    "MoveProposal",
+    "PHASES",
+    "PHASE_BROADCAST_DELEGATES",
+    "PHASE_FIND_BEST",
+    "PHASE_OTHER",
+    "PHASE_SWAP_BOUNDARY",
+    "PhaseTimer",
+    "SequentialInfomap",
+    "best_move",
+    "cluster_level",
+    "codelength_terms",
+    "delta_codelength",
+    "delta_from_values",
+    "distributed_infomap",
+    "neighbor_module_flows",
+    "pagerank_flow",
+    "plogp",
+    "sequential_infomap",
+]

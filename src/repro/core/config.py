@@ -1,0 +1,161 @@
+"""Configuration for the sequential and distributed Infomap algorithms.
+
+One dataclass covers both: the distributed-only knobs are ignored by
+the sequential solver.  Every field corresponds to a parameter the
+paper names (θ, max iterations, d_high, the min-label heuristic, the
+full-module-info swap) or an ablation DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["InfomapConfig"]
+
+
+@dataclass(frozen=True)
+class InfomapConfig:
+    """Knobs for Infomap runs.
+
+    Attributes:
+        threshold: θ of Algorithm 1 — stop the outer (level) loop when
+            one level improves the codelength by less than this many
+            bits.
+        max_levels: cap on outer iterations (Algorithm 1's
+            ``maxiteration``).
+        max_sweeps: cap on inner full-graph move sweeps per level.
+        min_improvement: a single move must beat this margin to count
+            (strict ``δL < 0`` with float-noise guard).
+        seed: RNG seed for the randomized vertex visit order
+            (Algorithm 1 line 13).
+        shuffle: randomize the visit order each sweep; False gives the
+            deterministic 0..n-1 order (useful in tests).
+
+        d_high: delegate degree threshold; ``None`` uses the paper's
+            default ``d_high = p`` (the rank count).
+        rebalance: apply §3.3 step 4 (re-place hub edges onto
+            underloaded ranks).
+        min_label: apply the min-label anti-bouncing rule to boundary
+            moves (§3.4); turning it off is the non-convergence
+            ablation.
+        tie_eps: two candidate deltas within this margin count as tied
+            for the min-label rule.
+        full_module_info: swap whole-community ``Module_Info`` records
+            (Algorithm 3).  False falls back to the naive boundary-ID
+            exchange the paper shows loses accuracy — the information
+            -swap ablation.
+        move_rule: how a vertex picks its target module.
+            ``"map_equation"`` (default) greedily minimizes ΔL — the
+            Infomap rule.  ``"max_flow"`` moves to the neighbouring
+            module receiving the vertex's maximum aggregate link flow —
+            the local decision rule the paper attributes to the
+            GossipMap family (§2.3), used by the baseline; quality is
+            not guaranteed to improve monotonically under it.
+        delta_swap: cross-round change detection on the swap traffic —
+            a module's contribution / a boundary vertex's id is re-sent
+            only when it changed (receivers cache-and-replace).  The
+            natural production extension of Algorithm 3's within-round
+            ``isSent`` dedup; False is the paper-literal always-send
+            protocol (the communication ablation).
+        delegate_consensus: how delegate (hub) moves reach consensus.
+            ``"aggregate"`` (default) all-gathers each hub's per-module
+            link flows first, so every rank scores the hub against its
+            *global* adjacency before the minimum-ΔL winner is chosen —
+            at laptop scale (few edges per rank) this is needed to keep
+            quality near sequential.  ``"min_local"`` is the paper's
+            literal rule — each rank proposes from its local hub-edge
+            subset only and the minimum local ΔL wins — which is cheap
+            and adequate when every rank holds millions of hub edges;
+            it is kept as the fidelity ablation.
+        min_vertices_per_rank: stage-2 levels whose coarse graph has
+            fewer than this many vertices per rank shrink onto a subset
+            of ranks (``p_eff = n // min_vertices_per_rank``), down to
+            one rank for tiny graphs.  Spreading a 100-vertex graph
+            over 16 ranks buys no parallelism and maximizes
+            synchronized-move noise; real MPI codes drop to a
+            sub-communicator in exactly this situation.  Set to 1 for
+            the paper-literal all-ranks behaviour.
+        prune_inactive: after the first round of a level, re-evaluate
+            only vertices whose neighbourhood or module changed (the
+            prioritization idea of Bae et al.'s follow-up work, cited
+            by the paper).  Quality-neutral in practice and removes the
+            dominant re-scan cost of near-converged rounds; disable for
+            the strict every-vertex-every-round sweep.
+        round_threshold_rel: relative per-round stop criterion for a
+            distributed level — rounds end once the codelength has not
+            improved by ``max(threshold, round_threshold_rel·|L|)``
+            within the patience window.  The paper's Figure 4 shows
+            convergence within a handful of outer iterations, which
+            implies a loose effective θ; a purely absolute 1e-8-bit
+            threshold grinds through dozens of no-progress rounds
+            instead.  Set to 0 for absolute-threshold behaviour.
+        max_rounds: cap on move/swap rounds inside one distributed
+            level (safety net; convergence normally ends rounds).
+    """
+
+    threshold: float = 1e-8
+    max_levels: int = 50
+    max_sweeps: int = 30
+    min_improvement: float = 1e-12
+    seed: int = 42
+    shuffle: bool = True
+
+    d_high: int | None = None
+    rebalance: bool = True
+    min_label: bool = True
+    tie_eps: float = 1e-10
+    full_module_info: bool = True
+    move_rule: str = "map_equation"
+    delta_swap: bool = True
+    delegate_consensus: str = "aggregate"
+    prune_inactive: bool = True
+    min_vertices_per_rank: int = 32
+    round_threshold_rel: float = 1e-4
+    max_rounds: int = 60
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold}")
+        if self.max_levels < 1:
+            raise ValueError(f"max_levels must be >= 1, got {self.max_levels}")
+        if self.max_sweeps < 1:
+            raise ValueError(f"max_sweeps must be >= 1, got {self.max_sweeps}")
+        if self.min_improvement < 0:
+            raise ValueError("min_improvement must be >= 0")
+        if self.d_high is not None and self.d_high < 1:
+            raise ValueError(f"d_high must be >= 1 or None, got {self.d_high}")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.min_vertices_per_rank < 1:
+            raise ValueError("min_vertices_per_rank must be >= 1")
+        if self.round_threshold_rel < 0:
+            raise ValueError("round_threshold_rel must be >= 0")
+        if self.move_rule not in ("map_equation", "max_flow"):
+            raise ValueError(
+                "move_rule must be 'map_equation' or 'max_flow', "
+                f"got {self.move_rule!r}"
+            )
+        if self.delegate_consensus not in ("aggregate", "min_local"):
+            raise ValueError(
+                "delegate_consensus must be 'aggregate' or 'min_local', "
+                f"got {self.delegate_consensus!r}"
+            )
+
+    def with_(self, **changes: Any) -> "InfomapConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+    def resolve_d_high(self, nranks: int, mean_degree: float | None = None
+                       ) -> int:
+        """The effective delegate threshold for a job of *nranks*.
+
+        With ``d_high=None`` and a known *mean_degree*, applies the
+        scale-adapted default (see the attribute docs); without a mean
+        degree it falls back to the paper's literal ``d_high = p``.
+        """
+        if self.d_high is not None:
+            return self.d_high
+        if mean_degree is None:
+            return max(1, nranks)
+        return max(1, nranks, int(round(8.0 * mean_degree)))

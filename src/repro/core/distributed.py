@@ -1,0 +1,1126 @@
+"""Distributed Infomap — Algorithm 2 of the paper (the contribution).
+
+Two clustering stages over the SPMD runtime:
+
+* **Stage 1 — parallel clustering with delegates** (Algorithm 2 lines
+  2–7).  Each rank greedily moves its owned low-degree vertices using
+  table estimates maintained by the Algorithm-3 swap protocol; every
+  delegate (hub copy) is moved by *consensus*: ranks propose
+  ``(ΔL, module)`` from their local hub-edge subsets, the proposals are
+  all-gathered, and the globally minimal ΔL wins on every rank, keeping
+  delegate state consistent.  Rounds repeat until no vertex changes
+  module.
+
+* **Stage 2 — parallel clustering without delegates** (lines 9–16).
+  The converged communities are merged into a graph several orders of
+  magnitude smaller, re-partitioned with plain 1D round-robin, and the
+  same round machinery runs (no hubs) level after level until the
+  codelength stops improving.
+
+Correctness guards from the paper are implemented verbatim and
+individually switchable for ablations: the min-label anti-bouncing rule
+for boundary moves (§3.4), and the full ``Module_Info`` swap with
+``is_sent`` dedup (Algorithm 3) versus the naive boundary-ID-only
+exchange.
+
+Measurement: every rank runs under a :class:`PhaseTimer` whose phase
+names match Figure 8 (*Find Best Module*, *Broadcast Delegates*, *Swap
+Boundary Information*, *Other*), the communicator meters bytes per
+phase, and the driver turns per-rank work counters into modeled BSP
+time for the scalability figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..graph.builder import from_edge_array
+from ..graph.graph import Graph
+from ..partition.delegates import delegate_partition
+from ..partition.distgraph import LocalGraph, build_local_graphs, local_views_1d
+from ..partition.oned import OneDPartition
+from ..simmpi.comm import Communicator
+from ..simmpi.costmodel import MachineModel
+from ..simmpi.engine import run_spmd
+from .config import InfomapConfig
+from .flow import FlowNetwork
+from .mapequation import delta_from_values, plogp
+from .result import ClusteringResult, LevelRecord
+from .swap import Contribution, LocalModuleState
+from .timing import (
+    PHASE_BROADCAST_DELEGATES,
+    PHASE_FIND_BEST,
+    PHASE_MEASUREMENT,
+    PHASE_OTHER,
+    PHASE_SWAP_BOUNDARY,
+    PhaseTimer,
+)
+
+__all__ = ["DistributedInfomap", "distributed_infomap"]
+
+
+# ---------------------------------------------------------------------------
+# Move evaluation against the swap-maintained table
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Decision:
+    local_idx: int
+    current: int
+    target: int
+    delta: float
+    p_u: float
+    x_u: float
+    d_old: float
+    d_new: float
+
+
+def _score_candidates(
+    state: LocalModuleState,
+    cfg: InfomapConfig,
+    boundary_mods: "set[int]",
+    *,
+    li: int,
+    current: int,
+    uniq: np.ndarray,
+    agg: np.ndarray,
+    p_u: float,
+    x_u: float,
+) -> "_Decision | None":
+    """Score the candidate modules in ``(uniq, agg)`` and pick a move.
+
+    ``uniq`` must be sorted unique module ids with ``agg`` the vertex's
+    link flow into each; the anti-bouncing rules of §3.4 are applied
+    here so both the low-degree sweep and the delegate-consensus path
+    behave identically.
+    """
+    pos = np.searchsorted(uniq, current)
+    d_old = float(agg[pos]) if pos < uniq.size and uniq[pos] == current else 0.0
+
+    cand_mask = uniq != current
+    if cfg.min_label and boundary_mods:
+        # §3.4 minimum-label strategy (after Lu et al.): the bouncing
+        # failure is two vertices *swapping* communities in the same
+        # synchronized round, which (for strictly improving greedy
+        # moves) requires both sides to be singleton modules.  Such a
+        # merge is therefore only admitted toward the smaller module id
+        # when the target is a boundary community; one direction
+        # proceeds, the swap cannot.  All other moves stay unrestricted
+        # so mass is not ratcheted into small-id modules.
+        if state.table_members.get(current, 1) == 1:
+            for i in np.flatnonzero(cand_mask):
+                m = int(uniq[i])
+                if (
+                    m > current
+                    and m in boundary_mods
+                    and state.table_members.get(m, 1) == 1
+                ):
+                    cand_mask[i] = False
+    if not cand_mask.any():
+        return None
+    cand = uniq[cand_mask]
+    cand_flow = agg[cand_mask]
+
+    if cfg.move_rule == "max_flow":
+        # GossipMap-family rule (§2.3): adopt the neighbouring module
+        # that receives the most of this vertex's link flow, provided
+        # it strictly beats the flow kept by the current module.  No
+        # codelength is consulted.
+        best_idx = int(np.argmax(cand_flow))
+        best_flow = float(cand_flow[best_idx])
+        if best_flow <= d_old + 1e-15:
+            return None
+        # Deterministic tie-break toward the smaller module id.
+        tied = np.flatnonzero(cand_flow >= best_flow - 1e-15)
+        best_idx = int(tied[0])
+        return _Decision(
+            local_idx=li, current=current, target=int(cand[best_idx]),
+            delta=0.0, p_u=p_u, x_u=x_u, d_old=d_old,
+            d_new=float(cand_flow[best_idx]),
+        )
+
+    q_old = state.table_exit.get(current, 0.0)
+    p_old = state.table_sum_p.get(current, 0.0)
+
+    # Scalar math (math.log2) beats numpy temporaries by ~10x on the
+    # 2-8 candidate modules a real vertex has; the vectorized kernel in
+    # mapequation remains the reference the tests cross-check against.
+    log2 = math.log2
+    sum_exit = state.sum_exit_global
+    q_old_after = q_old - x_u + 2.0 * d_old
+    p_old_after = p_old - p_u
+    base_old = (
+        -2.0 * (_plogp_s(q_old_after, log2) - _plogp_s(q_old, log2))
+        + _plogp_s(q_old_after + p_old_after, log2)
+        - _plogp_s(q_old + p_old, log2)
+    )
+    ge = state.table_exit.get
+    gp = state.table_sum_p.get
+
+    deltas: list[float] = []
+    for m, d_new in zip(cand.tolist(), cand_flow.tolist()):
+        q_new = ge(m, 0.0)
+        p_new = gp(m, 0.0)
+        q_new_after = q_new + x_u - 2.0 * d_new
+        se_after = sum_exit + (q_old_after - q_old) + (q_new_after - q_new)
+        deltas.append(
+            _plogp_s(se_after, log2) - _plogp_s(sum_exit, log2)
+            + base_old
+            - 2.0 * (_plogp_s(q_new_after, log2) - _plogp_s(q_new, log2))
+            + _plogp_s(q_new_after + p_new + p_u, log2)
+            - _plogp_s(q_new + p_new, log2)
+        )
+
+    best_idx = min(range(len(deltas)), key=deltas.__getitem__)
+    best_delta = deltas[best_idx]
+    if best_delta >= -cfg.min_improvement:
+        return None
+
+    target = int(cand[best_idx])
+    if cfg.min_label and target in boundary_mods:
+        # Near-ties also break toward the minimum label, so that two
+        # ranks scoring the same vertex pick the same winner.
+        for i, dl in enumerate(deltas):  # cand ascends by module id
+            if dl <= best_delta + cfg.tie_eps:
+                best_idx = i
+                break
+        best_delta = deltas[best_idx]
+        target = int(cand[best_idx])
+
+    return _Decision(
+        local_idx=li, current=current, target=target, delta=best_delta,
+        p_u=p_u, x_u=x_u, d_old=d_old, d_new=float(cand_flow[best_idx]),
+    )
+
+
+def _plogp_s(x: float, log2=math.log2) -> float:
+    """Scalar ``x log2 x`` with 0·log0 = 0 and negative-dust clamping."""
+    return x * log2(x) if x > 1e-300 else 0.0
+
+
+def _local_module_flows(
+    state: LocalModuleState, li: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Vertex *li*'s locally-stored link flow per neighbouring module.
+
+    Returns ``(sorted module ids, flows, x_u_local)``; self-loops are
+    excluded.  For owned low-degree vertices this is the vertex's full
+    adjacency (delegate placement guarantees it); for hub copies it is
+    the local subset.
+    """
+    lg = state.lg
+    nbrs, flows = lg.neighbors_of(li)
+    nonself = nbrs != li
+    if not nonself.all():
+        nbrs = nbrs[nonself]
+        flows = flows[nonself]
+    if nbrs.size == 0:
+        return np.empty(0, np.int64), np.empty(0), 0.0
+    mods = state.module_of[nbrs]
+    if nbrs.size <= 48:
+        # Small-neighbourhood fast path: a plain dict beats np.unique's
+        # sort for the short arrays that dominate scale-free graphs.
+        acc: dict[int, float] = {}
+        x = 0.0
+        for m, f in zip(mods.tolist(), flows.tolist()):
+            acc[m] = acc.get(m, 0.0) + f
+            x += f
+        uniq = np.fromiter(sorted(acc), dtype=np.int64, count=len(acc))
+        agg = np.asarray([acc[m] for m in uniq.tolist()])
+        return uniq, agg, x
+    uniq, inv = np.unique(mods, return_inverse=True)
+    agg = np.bincount(inv, weights=flows, minlength=uniq.size)
+    return uniq.astype(np.int64), agg, float(flows.sum())
+
+
+def _evaluate_move(
+    state: LocalModuleState,
+    li: int,
+    cfg: InfomapConfig,
+    boundary_mods: "set[int]",
+) -> "_Decision | None":
+    """Best strictly-improving move for local vertex *li*, or None.
+
+    Mirrors the sequential kernel but reads module aggregates from the
+    rank's table (own contribution + swapped neighbour contributions)
+    and applies the anti-bouncing rules to boundary targets.
+    """
+    uniq, agg, x_u = _local_module_flows(state, li)
+    if uniq.size == 0:
+        return None
+    return _score_candidates(
+        state, cfg, boundary_mods,
+        li=li, current=int(state.module_of[li]),
+        uniq=uniq, agg=agg,
+        p_u=float(state.lg.flow[li]), x_u=x_u,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact global codelength (hash-reduction over module contributions)
+# ---------------------------------------------------------------------------
+
+def _exact_codelength(
+    comm: Communicator,
+    own: Contribution,
+    node_term: float,
+    timer: PhaseTimer,
+) -> float:
+    """Exact L(M) from per-rank contributions.
+
+    Module ids are hashed to owner ranks (``id mod p``), each owner
+    sums its modules' global aggregates and computes the plogp partial
+    sums, and one allreduce finishes Eq 3.  Exactness holds because
+    contributions are additive and each directed entry / vertex mass is
+    counted on exactly one rank (tested against the sequential
+    :class:`ModuleStats`).
+
+    Metered under the ``measurement`` phase: the paper's algorithm only
+    all-reduces locally-computed scalar MDL values per iteration
+    (§3.4), so this exact reduction is reproduction instrumentation —
+    it is excluded from the modeled runtime and reported separately.
+    """
+    with timer.phase(PHASE_MEASUREMENT):
+        p = comm.size
+        if p == 1:
+            q = own.exit
+            pm = own.sum_p
+            return float(
+                plogp(q.sum()) - 2.0 * plogp(q).sum()
+                + node_term + plogp(q + pm).sum()
+            )
+        dest = (own.mod_ids % p).astype(np.int64)
+        msgs: dict[int, Any] = {}
+        for r in range(p):
+            if r == comm.rank:
+                continue
+            sel = dest == r
+            if sel.any():
+                msgs[r] = (
+                    own.mod_ids[sel], own.sum_p[sel], own.exit[sel]
+                )
+        recv = comm.exchange(msgs)
+        keep = dest == comm.rank
+        ids = [own.mod_ids[keep]]
+        sps = [own.sum_p[keep]]
+        exs = [own.exit[keep]]
+        for _src, (mids, msp, mex) in recv.items():
+            ids.append(mids)
+            sps.append(msp)
+            exs.append(mex)
+        all_ids = np.concatenate(ids)
+        if all_ids.size:
+            uniq, inv = np.unique(all_ids, return_inverse=True)
+            q = np.bincount(inv, weights=np.concatenate(exs),
+                            minlength=uniq.size)
+            pm = np.bincount(inv, weights=np.concatenate(sps),
+                             minlength=uniq.size)
+            partial = np.array(
+                [q.sum(), plogp(q).sum(), plogp(q + pm).sum()]
+            )
+        else:
+            partial = np.zeros(3)
+        total = comm.allreduce(partial)
+        return float(
+            plogp(float(total[0])) - 2.0 * total[1] + node_term + total[2]
+        )
+
+
+# ---------------------------------------------------------------------------
+# One clustering level: rounds of move / consensus / swap / update
+# ---------------------------------------------------------------------------
+
+def _cluster_rounds(
+    comm: Communicator,
+    lg: LocalGraph,
+    cfg: InfomapConfig,
+    timer: PhaseTimer,
+    node_term: float,
+    rng: np.random.Generator,
+    *,
+    with_delegates: bool,
+    id_space: int,
+) -> tuple[LocalModuleState, Contribution, list[float], int, int]:
+    """Algorithm 2 lines 2–7 (or 10–14 when ``with_delegates=False``).
+
+    Args:
+        id_space: exclusive upper bound on module ids at this level
+            (vertex-id namespace size), used to pack (hub, module)
+            pairs into scalar keys for the vectorized delegate path.
+
+    Returns ``(state, final_contribution, codelength_history, rounds,
+    total_moves)``.
+    """
+    state = LocalModuleState(lg)
+    ghost_base = lg.num_owned + lg.num_hubs
+    ghost_index = {
+        int(g): ghost_base + i
+        for i, g in enumerate(lg.global_of[lg.ghost_slice()])
+    }
+    hub_index = {
+        int(g): lg.num_owned + i
+        for i, g in enumerate(lg.global_of[lg.hub_slice()])
+    }
+
+    # Reverse adjacency (target -> stored sources), for active-set
+    # pruning: when a vertex changes module, exactly its stored
+    # in-neighbours need re-evaluation.
+    rev_order = np.argsort(lg.nbr, kind="stable")
+    rev_targets = lg.nbr[rev_order]
+    rev_sources = state._entry_src[rev_order]
+
+    def mark_neighbors(
+        changed: np.ndarray, active: np.ndarray, hub_active: np.ndarray
+    ) -> None:
+        if changed.size == 0:
+            return
+        lo = np.searchsorted(rev_targets, changed)
+        hi = np.searchsorted(rev_targets, changed + 1)
+        for a, b in zip(lo.tolist(), hi.tolist()):
+            srcs = rev_sources[a:b]
+            active[srcs[srcs < lg.num_owned]] = True
+            hs = srcs[srcs >= lg.num_owned] - lg.num_owned
+            hub_active[hs] = True
+
+    # Locally-stored hub adjacency, grouped by hub ordinal once, for
+    # the delegate-consensus contribution cache.
+    h_lo0 = int(lg.indptr[lg.num_owned]) if lg.num_hubs else lg.nbr.size
+    _h_src = state._entry_src[h_lo0:]
+    _h_tgt = lg.nbr[h_lo0:]
+    _h_flw = lg.nbr_flow[h_lo0:]
+    _h_ns = _h_tgt != _h_src
+    _h_ord = (_h_src[_h_ns] - lg.num_owned).astype(np.int64)
+    _h_order = np.argsort(_h_ord, kind="stable")
+    hub_ord_per_entry = _h_ord[_h_order]
+    hub_tgt_sorted = _h_tgt[_h_ns][_h_order]
+    hub_flw_sorted = _h_flw[_h_ns][_h_order]
+    # Per-peer caches of (hub*id_space + module) keys and flows — each
+    # peer's last-shipped delegate contributions, kept key-sorted.
+    peer_keys: list[np.ndarray] = [
+        np.empty(0, np.int64) for _ in range(comm.size)
+    ]
+    peer_flows: list[np.ndarray] = [np.empty(0) for _ in range(comm.size)]
+    hub_dirty = np.ones(lg.num_hubs, dtype=bool)
+    # Home rank of each hub ordinal (round-robin ownership by global id).
+    hub_home_rank = (
+        lg.global_of[lg.num_owned : lg.num_owned + lg.num_hubs]
+        % np.int64(comm.size)
+    ).astype(np.int64)
+
+    with timer.phase(PHASE_OTHER):
+        own = state.contribution()
+        state.rebuild_table(own, [])
+        timer.add_work(PHASE_OTHER, lg.num_entries)
+    state.sum_exit_global = float(comm.allreduce(own.total_exit()))
+    history = [_exact_codelength(comm, own, node_term, timer)]
+
+    order = np.arange(lg.num_owned)
+    active = np.ones(lg.num_owned, dtype=bool)
+    total_moves_all = 0
+    rounds = 0
+    best_l = history[0]
+    stalled = 0
+    for rounds in range(1, cfg.max_rounds + 1):
+        if cfg.shuffle:
+            rng.shuffle(order)
+
+        # -- Find Best Module: owned low-degree vertices ------------------
+        local_moves = 0
+        work = 0
+        moved_local: list[int] = []
+        changed_mods: set[int] = set()
+        with timer.phase(PHASE_FIND_BEST):
+            bmods = state.boundary_modules() if cfg.min_label else set()
+            for li in order:
+                li = int(li)
+                if not active[li]:
+                    continue
+                work += int(lg.indptr[li + 1] - lg.indptr[li])
+                dec = _evaluate_move(state, li, cfg, bmods)
+                if dec is not None:
+                    state.apply_local_move(
+                        dec.local_idx, dec.target,
+                        p_u=dec.p_u, x_u=dec.x_u,
+                        d_old=dec.d_old, d_new=dec.d_new,
+                    )
+                    local_moves += 1
+                    moved_local.append(li)
+                    changed_mods.add(dec.current)
+                    changed_mods.add(dec.target)
+            timer.add_work(PHASE_FIND_BEST, work)
+
+        # -- Broadcast Delegates: consensus moves for hubs -----------------
+        hub_moves = 0
+        moved_hub_modules: set[int] = set()
+        if with_delegates and lg.num_hubs:
+            proposals: dict[int, tuple[float, int]] = {}
+            if cfg.delegate_consensus == "aggregate":
+                # Gather every hub's per-module link flows so each rank
+                # scores the hub against its *global* adjacency.  Each
+                # rank's per-hub contribution only changes when some
+                # stored target of that hub changed module, so only
+                # *dirty* hubs are re-aggregated and re-shipped; every
+                # rank caches every peer's last contribution
+                # (``peer_hub_maps``) and re-merges just the refreshed
+                # hubs.  Consensus stays consistent because moves are
+                # applied from the all-gathered winner list, not from
+                # who happened to score.
+                with timer.phase(PHASE_FIND_BEST):
+                    if not cfg.prune_inactive:
+                        hub_dirty[:] = True
+                    dmask = hub_dirty[hub_ord_per_entry]
+                    if dmask.any():
+                        dk = (
+                            hub_ord_per_entry[dmask] * np.int64(id_space)
+                            + state.module_of[hub_tgt_sorted[dmask]]
+                        )
+                        uk, inv = np.unique(dk, return_inverse=True)
+                        kf = np.bincount(
+                            inv, weights=hub_flw_sorted[dmask],
+                            minlength=uk.size,
+                        )
+                        upd_hubs = np.unique(hub_ord_per_entry[dmask])
+                        timer.add_work(
+                            PHASE_FIND_BEST, int(dmask.sum())
+                        )
+                    else:
+                        uk = np.empty(0, np.int64)
+                        kf = np.empty(0)
+                        upd_hubs = np.empty(0, np.int64)
+                with timer.phase(PHASE_BROADCAST_DELEGATES):
+                    # Route each dirty hub's flow contribution to the
+                    # hub's *home* rank only — the sole rank that will
+                    # score it — instead of broadcasting everywhere.
+                    upd_msgs: dict[int, Any] = {}
+                    self_update = None
+                    if uk.size:
+                        key_home = hub_home_rank[(uk // id_space)]
+                        for r in range(comm.size):
+                            sel = key_home == r
+                            if not sel.any():
+                                continue
+                            payload = (
+                                np.unique(uk[sel] // id_space),
+                                uk[sel],
+                                kf[sel],
+                            )
+                            if r == comm.rank:
+                                self_update = payload
+                            else:
+                                upd_msgs[r] = payload
+                    recv_upd = comm.exchange(upd_msgs)
+                with timer.phase(PHASE_FIND_BEST):
+                    rescore_mask = np.zeros(lg.num_hubs, dtype=bool)
+                    all_updates: list[tuple[int, Any]] = list(
+                        recv_upd.items()
+                    )
+                    if self_update is not None:
+                        all_updates.append((comm.rank, self_update))
+                    for r, (uh, k2, f2) in all_updates:
+                        if uh.size == 0:
+                            continue
+                        pk, pf = peer_keys[r], peer_flows[r]
+                        if pk.size:
+                            keep = ~np.isin(pk // id_space, uh)
+                            nk = np.concatenate([pk[keep], k2])
+                            nf = np.concatenate([pf[keep], f2])
+                        else:
+                            nk, nf = k2, f2
+                        srt = np.argsort(nk, kind="stable")
+                        peer_keys[r] = nk[srt]
+                        peer_flows[r] = nf[srt]
+                        rescore_mask[uh] = True
+                    # Hubs whose own module's aggregates shifted also
+                    # need re-scoring even if their adjacency is clean.
+                    if changed_mods:
+                        hub_mods_now = state.module_of[
+                            lg.num_owned : lg.num_owned + lg.num_hubs
+                        ]
+                        cm = np.fromiter(
+                            changed_mods, dtype=np.int64,
+                            count=len(changed_mods),
+                        )
+                        rescore_mask |= np.isin(hub_mods_now, cm)
+                    # Only the hub's home rank scores it — every rank
+                    # holds the same merged flows, so scoring is pure
+                    # duplication; the winner still reaches everyone
+                    # through the proposal allgather.
+                    rescore_mask &= lg.hub_home
+                    rescore_hubs = np.flatnonzero(rescore_mask)
+                    if rescore_hubs.size:
+                        sel_k: list[np.ndarray] = []
+                        sel_f: list[np.ndarray] = []
+                        for r in range(comm.size):
+                            pk = peer_keys[r]
+                            if pk.size == 0:
+                                continue
+                            m = np.isin(pk // id_space, rescore_hubs)
+                            sel_k.append(pk[m])
+                            sel_f.append(peer_flows[r][m])
+                        if sel_k:
+                            kk = np.concatenate(sel_k)
+                            ff = np.concatenate(sel_f)
+                            guk, ginv = np.unique(kk, return_inverse=True)
+                            gf = np.bincount(
+                                ginv, weights=ff, minlength=guk.size
+                            )
+                            ho_arr = (guk // id_space).astype(np.int64)
+                            mod_arr = (guk % id_space).astype(np.int64)
+                            bnd = np.searchsorted(
+                                ho_arr, np.arange(lg.num_hubs + 1)
+                            )
+                            for ho in rescore_hubs.tolist():
+                                a, b = int(bnd[ho]), int(bnd[ho + 1])
+                                if a == b:
+                                    continue
+                                hi = lg.num_owned + ho
+                                dec = _score_candidates(
+                                    state, cfg, bmods,
+                                    li=hi,
+                                    current=int(state.module_of[hi]),
+                                    uniq=mod_arr[a:b], agg=gf[a:b],
+                                    p_u=float(lg.flow[hi]),
+                                    x_u=float(lg.exit0[hi]),
+                                )
+                                if dec is not None:
+                                    proposals[int(lg.global_of[hi])] = (
+                                        dec.delta, dec.target
+                                    )
+            else:
+                # "min_local": the paper's literal rule — each rank
+                # proposes the best move it sees from its local subset
+                # of the hub's edges.
+                with timer.phase(PHASE_FIND_BEST):
+                    hwork = 0
+                    for hi in range(lg.num_owned, lg.num_owned + lg.num_hubs):
+                        hwork += int(lg.indptr[hi + 1] - lg.indptr[hi])
+                        dec = _evaluate_move(state, hi, cfg, bmods)
+                        if dec is not None:
+                            proposals[int(lg.global_of[hi])] = (
+                                dec.delta, dec.target
+                            )
+                    timer.add_work(PHASE_FIND_BEST, hwork)
+            with timer.phase(PHASE_BROADCAST_DELEGATES):
+                all_props = comm.allgather(proposals)
+            with timer.phase(PHASE_OTHER):
+                winners: dict[int, tuple[float, int, int]] = {}
+                for r, props in enumerate(all_props):
+                    for hub, (delta, target) in props.items():
+                        key = (delta, target, r)
+                        if hub not in winners or key < winners[hub]:
+                            winners[hub] = key
+        moved_hubs: list[int] = []
+        if with_delegates and lg.num_hubs:
+            with timer.phase(PHASE_OTHER):
+                for hub, (_delta, target, _r) in winners.items():
+                    hi = hub_index[hub]
+                    old = int(state.module_of[hi])
+                    if old != target:
+                        state.module_of[hi] = target
+                        moved_hub_modules.add(target)
+                        changed_mods.add(old)
+                        changed_mods.add(target)
+                        moved_hubs.append(hi)
+                        hub_moves += 1  # identical on every rank
+
+        # -- Swap Boundary Information ---------------------------------------
+        with timer.phase(PHASE_SWAP_BOUNDARY):
+            if cfg.delta_swap:
+                memb = state.prepare_membership_sync_delta()
+            else:
+                memb = state.prepare_membership_sync()
+            recv = comm.exchange(memb)
+            changed_ghosts = state.apply_membership_sync(
+                list(recv.values()), ghost_index
+            )
+
+        with timer.phase(PHASE_OTHER):
+            own = state.contribution()
+            timer.add_work(PHASE_OTHER, lg.num_entries)
+            if cfg.prune_inactive:
+                # Next round only re-evaluates vertices whose decision
+                # inputs changed: stored in-neighbours of anything that
+                # moved (local, hub or ghost) plus members of modules
+                # whose aggregates changed.
+                active[:] = False
+                hub_dirty[:] = False
+                changed_idx = np.asarray(
+                    moved_local + moved_hubs + changed_ghosts,
+                    dtype=np.int64,
+                )
+                mark_neighbors(changed_idx, active, hub_dirty)
+                if changed_mods:
+                    cm = np.fromiter(
+                        changed_mods, dtype=np.int64, count=len(changed_mods)
+                    )
+                    active |= np.isin(
+                        state.module_of[: lg.num_owned], cm
+                    )
+
+        if cfg.full_module_info and cfg.delta_swap:
+            with timer.phase(PHASE_SWAP_BOUNDARY):
+                deltas_out = state.prepare_swap_delta(own, moved_hub_modules)
+                wire = {
+                    d: np.vstack([
+                        b[0].astype(np.float64), b[1], b[2],
+                        b[3].astype(np.float64),
+                    ])
+                    for d, b in deltas_out.items()
+                }
+                recv2 = comm.exchange(wire)
+            with timer.phase(PHASE_OTHER):
+                state.apply_swap_delta({
+                    src: (
+                        m[0].astype(np.int64), m[1], m[2],
+                        m[3].astype(np.int64),
+                    )
+                    for src, m in recv2.items()
+                })
+                state.rebuild_table_from_caches(own)
+        elif cfg.full_module_info:
+            with timer.phase(PHASE_SWAP_BOUNDARY):
+                batches = state.prepare_swap(own, moved_hub_modules)
+                # One dense (5, n) matrix per destination keeps the
+                # wire size near the List-1 struct's 29 bytes/record
+                # instead of paying per-array pickle framing.
+                wire = {
+                    d: np.vstack([
+                        b[0].astype(np.float64), b[1], b[2],
+                        b[3].astype(np.float64), b[4].astype(np.float64),
+                    ])
+                    for d, b in batches.items()
+                }
+                recv2 = comm.exchange(wire)
+            received = [
+                (
+                    m[0].astype(np.int64), m[1], m[2],
+                    m[3].astype(np.int64), m[4].astype(bool),
+                )
+                for m in recv2.values()
+            ]
+            with timer.phase(PHASE_OTHER):
+                state.rebuild_table(own, received)
+        else:
+            with timer.phase(PHASE_OTHER):
+                state.rebuild_table(own, [])
+        state.sum_exit_global = float(comm.allreduce(own.total_exit()))
+        history.append(_exact_codelength(comm, own, node_term, timer))
+
+        total_moves = int(comm.allreduce(local_moves)) + hub_moves
+        total_moves_all += total_moves
+        if total_moves == 0:
+            break
+        # "... or there is no more MDL optimization" (§3.4): residual
+        # move oscillation with no codelength progress also ends the
+        # level.  A patience window (rather than a single-round check)
+        # lets the synchronized greedy recover from a round that
+        # overshot — concurrent moves can transiently *raise* L, and
+        # the following rounds, scored against refreshed tables, undo
+        # the damage.  The exact per-round L makes the check globally
+        # consistent for free.
+        round_tol = max(
+            cfg.threshold, cfg.round_threshold_rel * abs(history[-1])
+        )
+        if best_l - history[-1] >= round_tol:
+            best_l = history[-1]
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= 3:
+                break
+
+    return state, own, history, rounds, total_moves_all
+
+
+# ---------------------------------------------------------------------------
+# Distributed merge: communities -> replicated coarse flow network
+# ---------------------------------------------------------------------------
+
+def _merge_to_coarse(
+    comm: Communicator,
+    state: LocalModuleState,
+    own: Contribution,
+    timer: PhaseTimer,
+    id_space: int,
+) -> tuple[FlowNetwork, np.ndarray]:
+    """Algorithm 2 line 8 / §3.5: merge communities into a new graph.
+
+    Each rank aggregates its stored entries into
+    ``(module_a, module_b, flow)`` triples (vertex self-loops weighted
+    double so the later halving is exact), the triples and module
+    visit-mass contributions are all-gathered, and every rank builds
+    the same coarse :class:`FlowNetwork`.  Replication is the paper's
+    own justification — after stage 1 the merged graph is orders of
+    magnitude smaller (Figure 5) — and the gather is metered.
+
+    Returns ``(coarse_network, module_ids)`` where ``module_ids[c]`` is
+    the pre-merge module id of coarse vertex ``c``.
+    """
+    lg = state.lg
+    with timer.phase(PHASE_OTHER):
+        mod_src = state.module_of[state._entry_src]
+        mod_dst = state.module_of[lg.nbr]
+        a = np.minimum(mod_src, mod_dst)
+        b = np.maximum(mod_src, mod_dst)
+        self_entry = lg.nbr == state._entry_src
+        w = lg.nbr_flow * np.where(self_entry, 2.0, 1.0)
+        key = a.astype(np.int64) * np.int64(id_space) + b
+        uk, inv = np.unique(key, return_inverse=True)
+        kw = np.bincount(inv, weights=w, minlength=uk.size)
+
+    with timer.phase(PHASE_SWAP_BOUNDARY):
+        gathered = comm.allgather(
+            (uk, kw, own.mod_ids, own.sum_p)
+        )
+
+    with timer.phase(PHASE_OTHER):
+        keys = np.concatenate([g[0] for g in gathered])
+        kws = np.concatenate([g[1] for g in gathered])
+        mids = np.concatenate([g[2] for g in gathered])
+        msps = np.concatenate([g[3] for g in gathered])
+
+        # Module id space of the coarse graph.
+        all_mods = np.unique(
+            np.concatenate([mids, keys // id_space, keys % id_space])
+        )
+        k = all_mods.size
+
+        node_flow = np.zeros(k)
+        np.add.at(node_flow, np.searchsorted(all_mods, mids), msps)
+
+        uk2, inv2 = np.unique(keys, return_inverse=True)
+        kw2 = np.bincount(inv2, weights=kws, minlength=uk2.size) / 2.0
+        ca = np.searchsorted(all_mods, uk2 // id_space)
+        cb = np.searchsorted(all_mods, uk2 % id_space)
+        coarse_graph = from_edge_array(
+            ca, cb, kw2, num_vertices=k, dedup="sum", keep_self_loops=True
+        )
+        return FlowNetwork(graph=coarse_graph, node_flow=node_flow), all_mods
+
+
+# ---------------------------------------------------------------------------
+# The full per-rank program (both stages)
+# ---------------------------------------------------------------------------
+
+def _rank_program(
+    comm: Communicator,
+    views: list[LocalGraph],
+    cfg: InfomapConfig,
+    n0: int,
+) -> dict[str, Any]:
+    rank = comm.rank
+    p = comm.size
+    lg = views[rank]
+    timer = PhaseTimer(comm)
+    rng = np.random.default_rng(cfg.seed + 7919 * rank)
+
+    # Constant node-codebook term, reduced from exactly-once vertex mass.
+    with timer.phase(PHASE_OTHER):
+        mass = np.zeros(lg.num_local, dtype=bool)
+        mass[: lg.num_owned] = True
+        mass[lg.num_owned : lg.num_owned + lg.num_hubs] = lg.hub_home
+        local_nt = -float(plogp(lg.flow[mass]).sum())
+    node_term = float(comm.allreduce(local_nt))
+
+    records: list[dict[str, Any]] = []
+    codelength_history: list[float] = []
+
+    # ---- Stage 1: clustering with delegates --------------------------------
+    state, own, hist1, rounds1, moves1 = _cluster_rounds(
+        comm, lg, cfg, timer, node_term, rng, with_delegates=True,
+        id_space=n0,
+    )
+    codelength_history.extend(hist1)
+
+    net, module_ids = _merge_to_coarse(comm, state, own, timer, id_space=n0)
+    stage1_timer = timer.snapshot()
+    records.append(
+        {
+            "level": 0,
+            "num_vertices": n0,
+            "num_modules": int(net.graph.num_vertices),
+            "codelength_before": hist1[0],
+            "codelength_after": hist1[-1],
+            "sweeps": rounds1,
+            "moves": moves1,
+        }
+    )
+
+    # Stage-1 assignment of this rank's exactly-once vertices.
+    my_vertices = lg.global_of[np.flatnonzero(mass)]
+    my_modules_stage1 = state.module_of[np.flatnonzero(mass)]
+    # Coarse index of each stage-1 module.
+    coarse_of_stage1 = np.searchsorted(module_ids, my_modules_stage1)
+
+    # ---- Stage 2: clustering without delegates, level after level ------------
+    proj = np.arange(net.graph.num_vertices, dtype=np.int64)
+    l_prev = hist1[-1]
+    converged = moves1 == 0
+    final_codelength = l_prev
+
+    for level in range(1, cfg.max_levels):
+        cn = net.graph.num_vertices
+        with timer.phase(PHASE_OTHER):
+            # Small coarse graphs concentrate onto fewer ranks (see
+            # InfomapConfig.min_vertices_per_rank); idle ranks still
+            # join every collective so the SPMD schedule stays aligned.
+            p_eff = max(1, min(p, cn // cfg.min_vertices_per_rank))
+            owner = (np.arange(cn, dtype=np.int64) % p_eff).astype(np.int64)
+            part = OneDPartition(owner=owner, nranks=p)
+            views2 = local_views_1d(net, part)
+            lg2 = views2[rank]
+
+        state2, own2, hist2, rounds2, moves2 = _cluster_rounds(
+            comm, lg2, cfg, timer, node_term, rng, with_delegates=False,
+            id_space=cn,
+        )
+        l_after = hist2[-1]
+        codelength_history.append(l_after)
+        final_codelength = l_after
+
+        # Assemble the full coarse membership (module ids are coarse
+        # vertex ids) so every rank can coarsen its replica.
+        with timer.phase(PHASE_SWAP_BOUNDARY):
+            pieces = comm.allgather(
+                (
+                    lg2.global_of[: lg2.num_owned],
+                    state2.module_of[: lg2.num_owned],
+                )
+            )
+        with timer.phase(PHASE_OTHER):
+            membership = np.empty(cn, dtype=np.int64)
+            for gids, mods in pieces:
+                membership[gids] = mods
+            coarse2, community_of = net.coarsen(membership)
+            proj = community_of[proj]
+
+        records.append(
+            {
+                "level": level,
+                "num_vertices": cn,
+                "num_modules": int(coarse2.graph.num_vertices),
+                "codelength_before": hist2[0],
+                "codelength_after": l_after,
+                "sweeps": rounds2,
+                "moves": moves2,
+            }
+        )
+
+        if moves2 == 0 or (l_prev - l_after) < cfg.threshold:
+            converged = True
+            break
+        if coarse2.graph.num_vertices == cn and moves2 == 0:
+            converged = True
+            break
+        net = coarse2
+        l_prev = l_after
+
+    final_modules = proj[coarse_of_stage1]
+    return {
+        "vertices": my_vertices,
+        "modules": final_modules,
+        "codelength": final_codelength,
+        "codelength_history": codelength_history,
+        "records": records,
+        "converged": converged,
+        "timer": timer.snapshot(),
+        "stage1_timer": stage1_timer,
+        "stage1_rounds": rounds1,
+        "num_entries_stage1": lg.num_entries,
+        "num_ghosts_stage1": lg.num_ghosts,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Public driver
+# ---------------------------------------------------------------------------
+
+def distributed_infomap(
+    graph: Graph,
+    nranks: int,
+    config: InfomapConfig | None = None,
+    *,
+    machine: MachineModel | None = None,
+    copy_mode: str = "pickle",
+    timeout: float = 600.0,
+) -> ClusteringResult:
+    """Run the distributed Infomap algorithm on *nranks* simulated ranks.
+
+    Preprocessing (delegate partitioning, flow normalization) happens
+    up front; the two clustering stages run as an SPMD job on the
+    in-process runtime.  See :class:`DistributedInfomap` for the
+    object-style API and the paper mapping.
+    """
+    cfg = config or InfomapConfig()
+    if graph.num_edges == 0:
+        raise ValueError("cannot cluster a graph with no edges")
+
+    network = FlowNetwork.from_graph(graph)
+    mean_degree = graph.nnz / max(graph.num_vertices, 1)
+    dpart = delegate_partition(
+        graph,
+        nranks,
+        d_high=cfg.resolve_d_high(nranks, mean_degree),
+        rebalance=cfg.rebalance,
+    )
+    views = build_local_graphs(
+        network,
+        entry_rank=dpart.entry_rank,
+        owner=dpart.owner,
+        is_hub=dpart.is_hub,
+        nranks=nranks,
+    )
+
+    res = run_spmd(
+        _rank_program,
+        nranks,
+        fn_args=(views, cfg, graph.num_vertices),
+        copy_mode=copy_mode,
+        timeout=timeout,
+    )
+
+    # Assemble the flat membership from per-rank exactly-once pieces.
+    membership = np.full(graph.num_vertices, -1, dtype=np.int64)
+    for out in res.results:
+        membership[out["vertices"]] = out["modules"]
+    if (membership < 0).any():
+        raise AssertionError("some vertices were not assigned by any rank")
+    _uniq, membership = np.unique(membership, return_inverse=True)
+    membership = membership.astype(np.int64)
+
+    r0 = res.results[0]
+    levels = [LevelRecord(**rec) for rec in r0["records"]]
+
+    # Per-phase maxima over ranks: the Figure 8 breakdown inputs.
+    phase_seconds: dict[str, float] = {}
+    phase_work: dict[str, float] = {}
+    for out in res.results:
+        for ph, s in out["timer"]["seconds"].items():
+            phase_seconds[ph] = max(phase_seconds.get(ph, 0.0), s)
+        for ph, wk in out["timer"]["work"].items():
+            phase_work[ph] = max(phase_work.get(ph, 0.0), wk)
+
+    mm = machine or MachineModel()
+    modeled = _modeled_time(res, mm, nranks)
+
+    return ClusteringResult(
+        membership=membership,
+        codelength=float(r0["codelength"]),
+        levels=levels,
+        method="distributed",
+        converged=bool(r0["converged"]),
+        extras={
+            "nranks": nranks,
+            "d_high": dpart.d_high,
+            "num_hubs": dpart.num_hubs,
+            "codelength_history": r0["codelength_history"],
+            "phase_seconds_max": phase_seconds,
+            "phase_work_max": phase_work,
+            "per_rank_timer": [out["timer"] for out in res.results],
+            "comm_snapshot": res.ledger.snapshot(),
+            "total_comm_bytes": res.ledger.total_bytes,
+            "max_rank_comm_bytes": res.ledger.max_rank_bytes,
+            "modeled": modeled,
+            "stage1_seconds_max": max(
+                sum(o["stage1_timer"]["seconds"].values())
+                for o in res.results
+            ),
+            "total_seconds_max": max(
+                sum(o["timer"]["seconds"].values()) for o in res.results
+            ),
+            "stage1_work_max": max(
+                sum(o["stage1_timer"]["work"].values()) for o in res.results
+            ),
+            "total_work_max": max(
+                sum(o["timer"]["work"].values()) for o in res.results
+            ),
+            "stage1_rounds": r0["stage1_rounds"],
+            "entries_per_rank": [o["num_entries_stage1"] for o in res.results],
+            "ghosts_per_rank": [o["num_ghosts_stage1"] for o in res.results],
+        },
+    )
+
+
+def _modeled_time(res: Any, mm: MachineModel, nranks: int) -> dict[str, float]:
+    """BSP-modeled seconds per phase and in total (see costmodel docs)."""
+    phases: dict[str, float] = {}
+    # Compute: critical path = max over ranks of per-phase work units.
+    per_rank_work: dict[str, list[float]] = {}
+    for out in res.results:
+        for ph, wk in out["timer"]["work"].items():
+            per_rank_work.setdefault(ph, []).append(wk)
+    for ph, works in per_rank_work.items():
+        phases[ph] = phases.get(ph, 0.0) + mm.work_time(max(works))
+    # Communication: busiest rank's metered traffic per phase.
+    ledger = res.ledger
+    for ph in ledger.phases():
+        pb = ledger.phase_bytes(ph)
+        per_rank_bytes = [
+            s.bytes_by_phase.get(ph, 0) for s in ledger
+        ]
+        per_rank_msgs = [
+            s.messages_by_phase.get(ph, 0) for s in ledger
+        ]
+        t = mm.p2p_time(max(per_rank_msgs), max(per_rank_bytes))
+        phases[ph] = phases.get(ph, 0.0) + t
+    # Collective latency: log-depth trees per collective call.
+    coll_calls = max(s.collective_calls + s.barrier_calls for s in ledger)
+    sync = mm.collective_latency(nranks, coll_calls)
+    phases["collective_sync"] = sync
+    phases["total"] = sum(
+        v for k, v in phases.items()
+        if k not in ("total", PHASE_MEASUREMENT)
+    )
+    return phases
+
+
+class DistributedInfomap:
+    """Object-style API for the distributed algorithm.
+
+    Example::
+
+        from repro import DistributedInfomap, InfomapConfig, load_dataset
+
+        data = load_dataset("dblp")
+        result = DistributedInfomap(nranks=8).run(data.graph)
+        print(result.summary())
+        print(result.extras["phase_seconds_max"])
+
+    Args:
+        nranks: simulated MPI ranks.
+        config: algorithm knobs (see :class:`InfomapConfig`).
+        machine: machine model for the modeled-time accounting.
+        copy_mode: payload isolation mode of the runtime
+            (``"pickle"`` = faithful distributed memory, default).
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        config: InfomapConfig | None = None,
+        *,
+        machine: MachineModel | None = None,
+        copy_mode: str = "pickle",
+        timeout: float = 600.0,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.config = config or InfomapConfig()
+        self.machine = machine
+        self.copy_mode = copy_mode
+        self.timeout = timeout
+
+    def run(self, graph: Graph) -> ClusteringResult:
+        return distributed_infomap(
+            graph,
+            self.nranks,
+            self.config,
+            machine=self.machine,
+            copy_mode=self.copy_mode,
+            timeout=self.timeout,
+        )

@@ -1,0 +1,289 @@
+"""The map equation: codelength of a partition and ΔL of a vertex move.
+
+Implements Equation 3 of the paper (equivalently Rosvall et al.'s
+two-level map equation):
+
+    L(M) = plogp(Σ_m q_m)  −  2 Σ_m plogp(q_m)  −  Σ_α plogp(p_α)
+           +  Σ_m plogp(q_m + Σ_{α∈m} p_α)
+
+with ``plogp(x) = x log₂ x``.  Everything downstream — the sequential
+algorithm's greedy loop, the distributed algorithm's local moves and
+its delegate consensus — reduces to evaluating this codelength and its
+exact increment under single-vertex moves, so this module is the
+correctness kernel of the whole library; it is covered by
+recompute-vs-incremental property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .flow import FlowNetwork
+
+__all__ = [
+    "plogp",
+    "ModuleStats",
+    "codelength_terms",
+    "delta_codelength",
+    "delta_from_values",
+]
+
+
+def plogp(x: "np.ndarray | float") -> "np.ndarray | float":
+    """``x · log₂ x`` with the information-theoretic convention 0·log0 = 0.
+
+    Accepts scalars or arrays; negative inputs (which can only arise
+    from floating-point cancellation in incremental updates) are
+    clamped to zero rather than propagating NaNs.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    out = np.zeros_like(arr)
+    pos = arr > 0
+    np.multiply(arr, np.log2(arr, where=pos, out=np.zeros_like(arr)), where=pos,
+                out=out)
+    if np.ndim(x) == 0:
+        return float(out)
+    return out
+
+
+@dataclass
+class ModuleStats:
+    """Per-module aggregates the map equation needs, updated incrementally.
+
+    Arrays are indexed by module id (ids need not be contiguous in use;
+    empty modules simply have zero mass).  This mirrors the paper's
+    ``Module_Info`` message fields: ``sum_pr`` (visit probability mass),
+    ``exit_pr`` (exit flow), ``num_members``.
+
+    Attributes:
+        sum_p: ``float64[k]`` — Σ of member visit probabilities.
+        exit: ``float64[k]`` — module exit flow ``q_m``.
+        members: ``int64[k]`` — member counts.
+        sum_exit: running Σ_m q_m (kept incrementally).
+        node_term: the partition-independent ``−Σ plogp(p_α)`` term.
+    """
+
+    sum_p: np.ndarray
+    exit: np.ndarray
+    members: np.ndarray
+    sum_exit: float
+    node_term: float
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_membership(
+        cls,
+        network: FlowNetwork,
+        membership: np.ndarray,
+        *,
+        node_term: float | None = None,
+    ) -> "ModuleStats":
+        """Exact recomputation from scratch (reference path; O(n + m)).
+
+        Args:
+            node_term: override for the ``−Σ plogp(p_α)`` term.  The map
+                equation always codes *original* vertex visits, so when
+                *network* is a coarsened level the caller must pass the
+                level-0 node term (the multi-level drivers do); the
+                default recomputes it from *network*'s own node flows,
+                which is only correct at level 0.
+        """
+        membership = np.asarray(membership, dtype=np.int64)
+        g = network.graph
+        n = g.num_vertices
+        if membership.shape != (n,):
+            raise ValueError(f"membership must have shape ({n},)")
+        k = int(membership.max()) + 1 if n else 0
+
+        sum_p = np.zeros(k)
+        np.add.at(sum_p, membership, network.node_flow)
+
+        members = np.bincount(membership, minlength=k).astype(np.int64)
+
+        # Exit flow: every stored non-self adjacency entry whose
+        # endpoints live in different modules contributes its flow to
+        # the source vertex's module.
+        rows = g._row_of_entry()
+        cross = membership[rows] != membership[g.indices]
+        exit_ = np.zeros(k)
+        np.add.at(exit_, membership[rows[cross]], g.weights[cross])
+
+        if node_term is None:
+            node_term = -float(plogp(network.node_flow).sum())
+        return cls(
+            sum_p=sum_p,
+            exit=exit_,
+            members=members,
+            sum_exit=float(exit_.sum()),
+            node_term=node_term,
+        )
+
+    # -- codelength ------------------------------------------------------------
+    def codelength(self) -> float:
+        """Equation 3 evaluated on the current aggregates (bits)."""
+        return (
+            float(plogp(self.sum_exit))
+            - 2.0 * float(plogp(self.exit).sum())
+            + self.node_term
+            + float(plogp(self.exit + self.sum_p).sum())
+        )
+
+    @property
+    def num_modules(self) -> int:
+        """Number of non-empty modules."""
+        return int(np.count_nonzero(self.members))
+
+    @property
+    def num_slots(self) -> int:
+        return self.sum_p.size
+
+    def module_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.members)
+
+    # -- incremental updates ------------------------------------------------------
+    def apply_move(
+        self,
+        *,
+        old: int,
+        new: int,
+        p_u: float,
+        x_u: float,
+        d_old: float,
+        d_new: float,
+    ) -> None:
+        """Commit a single-vertex move ``old → new``.
+
+        Args:
+            p_u: vertex visit probability.
+            x_u: vertex's total non-self link flow.
+            d_old: vertex's link flow into *other* members of ``old``.
+            d_new: vertex's link flow into members of ``new``.
+
+        Exactly mirrors :func:`delta_codelength`'s primed quantities so
+        ``codelength_after == codelength_before + delta`` to machine
+        precision (property-tested).
+        """
+        if old == new:
+            return
+        q_old_new = self.exit[old] - x_u + 2.0 * d_old
+        q_new_new = self.exit[new] + x_u - 2.0 * d_new
+        self.sum_exit += (q_old_new - self.exit[old]) + (q_new_new - self.exit[new])
+        self.exit[old] = q_old_new
+        self.exit[new] = q_new_new
+        self.sum_p[old] -= p_u
+        self.sum_p[new] += p_u
+        self.members[old] -= 1
+        self.members[new] += 1
+        if self.members[old] == 0:
+            # Clamp float dust so empty modules are exactly empty.
+            self.sum_exit -= self.exit[old]
+            self.exit[old] = 0.0
+            self.sum_p[old] = 0.0
+
+    def copy(self) -> "ModuleStats":
+        return ModuleStats(
+            sum_p=self.sum_p.copy(),
+            exit=self.exit.copy(),
+            members=self.members.copy(),
+            sum_exit=self.sum_exit,
+            node_term=self.node_term,
+        )
+
+
+def codelength_terms(stats: ModuleStats) -> dict[str, float]:
+    """The four Eq-3 terms separately (diagnostics and tests)."""
+    return {
+        "exit_sum_term": float(plogp(stats.sum_exit)),
+        "exit_term": -2.0 * float(plogp(stats.exit).sum()),
+        "node_term": stats.node_term,
+        "module_term": float(plogp(stats.exit + stats.sum_p).sum()),
+    }
+
+
+def delta_from_values(
+    *,
+    sum_exit: float,
+    q_old: float,
+    p_old: float,
+    q_new: "np.ndarray | float",
+    p_new: "np.ndarray | float",
+    p_u: float,
+    x_u: float,
+    d_old: float,
+    d_new: "np.ndarray | float",
+) -> "np.ndarray | float":
+    """ΔL of a single-vertex move from raw aggregate values.
+
+    The value-level kernel shared by the sequential path (via
+    :func:`delta_codelength`) and the distributed path, whose module
+    aggregates live in a swap-maintained table rather than a
+    :class:`ModuleStats`.  Vectorized over candidate targets when
+    ``q_new``/``p_new``/``d_new`` are arrays.
+    """
+    q_new_arr = np.asarray(q_new, dtype=np.float64)
+    p_new_arr = np.asarray(p_new, dtype=np.float64)
+    d_new_arr = np.asarray(d_new, dtype=np.float64)
+
+    q_old_after = q_old - x_u + 2.0 * d_old
+    p_old_after = p_old - p_u
+    q_new_after = q_new_arr + x_u - 2.0 * d_new_arr
+    p_new_after = p_new_arr + p_u
+    sum_exit_after = sum_exit + (q_old_after - q_old) + (q_new_after - q_new_arr)
+
+    delta = (
+        plogp(sum_exit_after)
+        - plogp(sum_exit)
+        - 2.0 * (plogp(q_old_after) - plogp(q_old))
+        - 2.0 * (plogp(q_new_after) - plogp(q_new_arr))
+        + (plogp(q_old_after + p_old_after) - plogp(q_old + p_old))
+        + (plogp(q_new_after + p_new_after) - plogp(q_new_arr + p_new_arr))
+    )
+    if np.ndim(q_new) == 0 and np.ndim(d_new) == 0:
+        return float(np.asarray(delta).ravel()[0])
+    return np.asarray(delta)
+
+
+def delta_codelength(
+    stats: ModuleStats,
+    *,
+    old: int,
+    new: "int | np.ndarray",
+    p_u: float,
+    x_u: float,
+    d_old: float,
+    d_new: "float | np.ndarray",
+) -> "float | np.ndarray":
+    """Exact codelength change of moving one vertex ``old → new``.
+
+    Vectorized over candidate target modules: pass ``new`` and
+    ``d_new`` as arrays to evaluate all candidates at once (the hot
+    path of the greedy loop).  ``new == old`` entries evaluate to 0.
+
+    Derivation: when ``u`` leaves ``old``, the flow it sent outside the
+    module stops exiting and the flow it sent to the remaining members
+    starts exiting, hence ``q_old' = q_old − x_u + 2·d_old``; joining
+    ``new`` symmetrically gives ``q_new' = q_new + x_u − 2·d_new``.
+    Only four plogp groups of Eq 3 change.
+    """
+    new_arr = np.atleast_1d(np.asarray(new, dtype=np.int64))
+    d_new_arr = np.broadcast_to(
+        np.asarray(d_new, dtype=np.float64), new_arr.shape
+    )
+
+    delta = delta_from_values(
+        sum_exit=stats.sum_exit,
+        q_old=float(stats.exit[old]),
+        p_old=float(stats.sum_p[old]),
+        q_new=stats.exit[new_arr],
+        p_new=stats.sum_p[new_arr],
+        p_u=p_u,
+        x_u=x_u,
+        d_old=d_old,
+        d_new=d_new_arr,
+    )
+    delta = np.where(new_arr == old, 0.0, delta)
+    if np.ndim(new) == 0:
+        return float(delta[0])
+    return delta

@@ -1,0 +1,155 @@
+"""Best-move evaluation: the inner kernel of both algorithms.
+
+Given a vertex, its current membership and the module aggregates,
+evaluate the codelength change of moving it into each neighbouring
+module and return the best strictly-improving move.  Both the
+sequential loop (Algorithm 1 lines 16–22) and each rank's local
+clustering in the distributed algorithm (Algorithm 2 line 3) call this
+kernel; the distributed variant additionally distinguishes *boundary*
+modules so the min-label anti-bouncing rule can be applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .flow import FlowNetwork
+from .mapequation import ModuleStats, delta_codelength
+
+__all__ = ["MoveProposal", "neighbor_module_flows", "best_move"]
+
+
+@dataclass(frozen=True)
+class MoveProposal:
+    """The outcome of evaluating one vertex's candidate moves.
+
+    ``target == current`` means "stay" (no strictly improving move).
+    ``delta`` is the exact codelength change of adopting ``target``.
+    ``d_old``/``d_new`` are the link flows needed to commit the move
+    through :meth:`ModuleStats.apply_move` without re-scanning edges.
+    """
+
+    vertex: int
+    current: int
+    target: int
+    delta: float
+    p_u: float
+    x_u: float
+    d_old: float
+    d_new: float
+
+    @property
+    def is_move(self) -> bool:
+        return self.target != self.current
+
+
+def neighbor_module_flows(
+    network: FlowNetwork, membership: np.ndarray, u: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Aggregate ``u``'s link flow per neighbouring module.
+
+    Returns ``(module_ids, flows, x_u)`` where ``flows[i]`` is the flow
+    from ``u`` into ``module_ids[i]`` and ``x_u`` is the total non-self
+    flow.  Self-loops are excluded (they never exit).
+    """
+    g = network.graph
+    nbrs = g.neighbors(u)
+    wts = g.neighbor_weights(u)
+    nonself = nbrs != u
+    if not nonself.all():
+        nbrs = nbrs[nonself]
+        wts = wts[nonself]
+    x_u = float(wts.sum())
+    if nbrs.size == 0:
+        return np.empty(0, np.int64), np.empty(0), 0.0
+    mods = membership[nbrs]
+    uniq, inv = np.unique(mods, return_inverse=True)
+    flows = np.bincount(inv, weights=wts, minlength=uniq.size)
+    return uniq.astype(np.int64), flows, x_u
+
+
+def best_move(
+    network: FlowNetwork,
+    membership: np.ndarray,
+    stats: ModuleStats,
+    u: int,
+    *,
+    min_improvement: float = 1e-12,
+    tie_eps: float = 0.0,
+    prefer_min_label: bool = False,
+    candidate_filter: "np.ndarray | None" = None,
+) -> MoveProposal:
+    """Evaluate all neighbouring modules of ``u`` and pick the best.
+
+    Args:
+        min_improvement: a move must achieve ``delta < -min_improvement``
+            (the paper's strict ``δL < 0`` with a float-noise guard).
+        tie_eps: candidates within ``tie_eps`` of the best delta are
+            considered tied.
+        prefer_min_label: break ties toward the smallest module id (the
+            anti-bouncing heuristic of §3.4); when False ties break
+            toward the first-found best (deterministic given the sorted
+            unique module ids).
+        candidate_filter: optional boolean mask over module ids —
+            ``True`` entries are admissible targets (the distributed
+            algorithm restricts delegate proposals this way).
+
+    Returns:
+        A :class:`MoveProposal`; ``target == current`` when staying put
+        is (weakly) best.
+    """
+    current = int(membership[u])
+    mods, flows, x_u = neighbor_module_flows(network, membership, u)
+    p_u = float(network.node_flow[u])
+
+    pos = np.searchsorted(mods, current)
+    d_old = (
+        float(flows[pos]) if pos < mods.size and mods[pos] == current else 0.0
+    )
+
+    stay = MoveProposal(
+        vertex=u, current=current, target=current, delta=0.0,
+        p_u=p_u, x_u=x_u, d_old=d_old, d_new=d_old,
+    )
+    if mods.size == 0:
+        return stay
+
+    cand_mask = mods != current
+    if candidate_filter is not None:
+        cand_mask &= candidate_filter[mods]
+    if not cand_mask.any():
+        return stay
+    cand_mods = mods[cand_mask]
+    cand_flows = flows[cand_mask]
+
+    deltas = delta_codelength(
+        stats, old=current, new=cand_mods,
+        p_u=p_u, x_u=x_u, d_old=d_old, d_new=cand_flows,
+    )
+    best_idx = int(np.argmin(deltas))
+    best_delta = float(deltas[best_idx])
+    if best_delta >= -min_improvement:
+        return stay
+
+    if prefer_min_label or tie_eps > 0.0:
+        tied = np.flatnonzero(deltas <= best_delta + tie_eps)
+        if prefer_min_label:
+            # cand_mods is sorted (np.unique), so the first tied index
+            # has the smallest module id.
+            best_idx = int(tied[0])
+        else:
+            best_idx = int(tied[np.argmin(deltas[tied])])
+        best_delta = float(deltas[best_idx])
+
+    return MoveProposal(
+        vertex=u,
+        current=current,
+        target=int(cand_mods[best_idx]),
+        delta=best_delta,
+        p_u=p_u,
+        x_u=x_u,
+        d_old=d_old,
+        d_new=float(cand_flows[best_idx]),
+    )

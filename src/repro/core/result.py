@@ -1,0 +1,107 @@
+"""Result types returned by the clustering algorithms.
+
+Both algorithms return a :class:`ClusteringResult`; the distributed one
+attaches per-phase timing, per-rank work counters and the communication
+ledger snapshot so the benchmark harness can regenerate the paper's
+breakdown/scalability figures from a single run object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["LevelRecord", "ClusteringResult"]
+
+
+@dataclass(frozen=True)
+class LevelRecord:
+    """What happened during one outer iteration (one level).
+
+    Attributes:
+        level: 0-based outer iteration index.
+        num_vertices: vertex count of the graph entering this level.
+        num_modules: module count after this level's moves.
+        codelength_before: L(M) with singleton modules at this level.
+        codelength_after: L(M) after the level converged.
+        sweeps: inner move sweeps executed.
+        moves: total vertex moves committed.
+        merge_rate: ``1 - num_modules / num_vertices`` — the fraction
+            of vertices merged away this level (the paper's Fig 5
+            metric).
+    """
+
+    level: int
+    num_vertices: int
+    num_modules: int
+    codelength_before: float
+    codelength_after: float
+    sweeps: int
+    moves: int
+
+    @property
+    def merge_rate(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return 1.0 - self.num_modules / self.num_vertices
+
+    @property
+    def improvement(self) -> float:
+        return self.codelength_before - self.codelength_after
+
+
+@dataclass
+class ClusteringResult:
+    """Final outcome of a community-detection run.
+
+    Attributes:
+        membership: ``int64[n]`` module id per *original* vertex,
+            compacted to ``0..k-1``.
+        codelength: final two-level map-equation codelength in bits.
+        levels: one :class:`LevelRecord` per outer iteration.
+        method: algorithm identifier (``"sequential"``,
+            ``"distributed"``, ``"gossipmap"``, ...).
+        converged: True if the run stopped on the θ criterion rather
+            than an iteration cap.
+        extras: method-specific payloads — the distributed algorithm
+            stores ``phase_seconds``, ``work_per_rank``,
+            ``comm_snapshot``, ``modeled_time`` here.
+    """
+
+    membership: np.ndarray
+    codelength: float
+    levels: list[LevelRecord]
+    method: str
+    converged: bool
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_modules(self) -> int:
+        return int(np.unique(self.membership).size)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.membership.size)
+
+    def module_sizes(self) -> np.ndarray:
+        """Sizes of the final modules, descending."""
+        _, counts = np.unique(self.membership, return_counts=True)
+        return np.sort(counts)[::-1]
+
+    def codelength_trajectory(self) -> list[float]:
+        """Per-level codelengths (the Fig 4 series)."""
+        return [lv.codelength_after for lv in self.levels]
+
+    def merge_rates(self) -> list[float]:
+        """Per-level merge rates (the Fig 5 series)."""
+        return [lv.merge_rate for lv in self.levels]
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "hit iteration cap"
+        return (
+            f"{self.method}: n={self.num_vertices} -> "
+            f"{self.num_modules} modules, L={self.codelength:.6f} bits, "
+            f"{len(self.levels)} levels ({status})"
+        )

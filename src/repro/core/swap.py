@@ -1,0 +1,558 @@
+"""Information swapping — the paper's List 1 + Algorithm 3.
+
+After each local-move phase, ranks must reconcile the module aggregates
+their next ΔL evaluations depend on.  The paper's protocol exchanges
+*whole community information* of boundary vertices through a
+``Module_Info`` record — ``(modID, sumPr, exitPr, numMembers, isSent)``
+— where ``isSent`` dedups repeats so the same community's aggregate is
+never double-added at a receiver (the Figure 3 failure mode).
+
+This module implements the per-rank state that protocol maintains:
+
+* :class:`ModuleInfo` — the wire record (List 1 verbatim).
+* :class:`LocalModuleState` — one rank's membership array plus its
+  best-known module table, with exact *local contribution* computation
+  (the rank's own additive share of every module's aggregates) and the
+  prepare/apply halves of Algorithm 3.
+
+The split matters for correctness accounting: a rank's *contribution*
+is exact local fact (its owned vertices' flow mass, its stored entries'
+cut flow); the *table* is the paper's neighbor-reconstructed estimate
+(own contribution + every received contribution), which is what moves
+are scored against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..partition.distgraph import LocalGraph
+
+__all__ = ["ModuleInfo", "Contribution", "LocalModuleState"]
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """The List-1 message record for one module.
+
+    Attributes:
+        mod_id: module identifier (global namespace).
+        sum_pr: sender's visit-probability contribution to the module.
+        exit_pr: sender's exit-flow contribution.
+        num_members: sender's member-count contribution.
+        is_sent: True ⇒ this module's aggregate was already shipped to
+            this receiver earlier in the round; the receiver must keep
+            the association but must NOT add the numbers again.
+    """
+
+    mod_id: int
+    sum_pr: float
+    exit_pr: float
+    num_members: int
+    is_sent: bool
+
+
+@dataclass
+class Contribution:
+    """A rank's exact additive share of module aggregates.
+
+    ``Σ over ranks of Contribution == true global aggregates`` — this
+    invariant (tested) is what makes the exact-codelength reduction and
+    the swap protocol sound.
+    """
+
+    mod_ids: np.ndarray  # int64[k], sorted unique
+    sum_p: np.ndarray  # float64[k]
+    exit: np.ndarray  # float64[k]
+    members: np.ndarray  # int64[k]
+
+    def index_of(self, mod_id: int) -> int:
+        """Position of *mod_id* or -1."""
+        pos = np.searchsorted(self.mod_ids, mod_id)
+        if pos < self.mod_ids.size and self.mod_ids[pos] == mod_id:
+            return int(pos)
+        return -1
+
+    def total_exit(self) -> float:
+        return float(self.exit.sum())
+
+
+class LocalModuleState:
+    """One rank's module bookkeeping for one clustering level.
+
+    Responsibilities:
+
+    * hold ``module_of`` (local-index → global module id),
+    * compute the rank's exact :class:`Contribution`,
+    * build/refresh the module *table* (estimates used by ΔL),
+    * produce and consume Algorithm-3 message batches,
+    * track which modules are *boundary* (min-label rule applies).
+    """
+
+    def __init__(self, lg: LocalGraph) -> None:
+        self.lg = lg
+        # Singleton initialization: every vertex its own module, module
+        # id = global vertex id (Algorithm 1 lines 7-11).
+        self.module_of = lg.global_of.copy()
+        # Delta-swap state: what each peer last told us (absolute
+        # contributions, replace-on-receipt) and what we last shipped.
+        self._peer_contrib: dict[int, dict[int, tuple[float, float, int]]] = {}
+        self._last_sent: dict[int, tuple[float, float, int]] = {}
+        self._sent_pairs: set[tuple[int, int]] = set()
+        self._synced_boundary: np.ndarray | None = None
+        # Vertices whose (flow, member) mass this rank owns exactly once
+        # globally: the owned segment plus home-hub copies.
+        owned_mask = np.zeros(lg.num_local, dtype=bool)
+        owned_mask[: lg.num_owned] = True
+        hub_lo = lg.num_owned
+        owned_mask[hub_lo : hub_lo + lg.num_hubs] = lg.hub_home
+        self._mass_mask = owned_mask
+        # Per-entry source local index, precomputed once.
+        self._entry_src = np.repeat(
+            np.arange(lg.num_sources, dtype=np.int64), np.diff(lg.indptr)
+        )
+        # The table: global-estimate aggregates per module id.
+        self.table_sum_p: dict[int, float] = {}
+        self.table_exit: dict[int, float] = {}
+        self.table_members: dict[int, int] = {}
+        self.sum_exit_global: float = 0.0
+
+    # -- exact local facts --------------------------------------------------
+    def contribution(self) -> Contribution:
+        """This rank's exact additive share of every local module.
+
+        * ``sum_p``/``members``: owned vertices + home-hub copies only
+          (each vertex counted on exactly one rank).
+        * ``exit``: every locally *stored* entry ``(s → t)`` with
+          endpoints in different modules adds its flow to ``s``'s
+          module (each directed entry is stored on exactly one rank).
+        """
+        lg = self.lg
+        mass_idx = np.flatnonzero(self._mass_mask)
+        mass_mods = self.module_of[mass_idx]
+
+        mod_src = self.module_of[self._entry_src]
+        mod_dst = self.module_of[lg.nbr]
+        cross = mod_src != mod_dst
+        exit_mods = mod_src[cross]
+        exit_flows = lg.nbr_flow[cross]
+
+        all_ids = np.unique(np.concatenate([mass_mods, exit_mods]))
+        k = all_ids.size
+        sum_p = np.zeros(k)
+        members = np.zeros(k, dtype=np.int64)
+        if mass_mods.size:
+            pos = np.searchsorted(all_ids, mass_mods)
+            np.add.at(sum_p, pos, lg.flow[mass_idx])
+            np.add.at(members, pos, 1)
+        exit_ = np.zeros(k)
+        if exit_mods.size:
+            pos = np.searchsorted(all_ids, exit_mods)
+            np.add.at(exit_, pos, exit_flows)
+        return Contribution(
+            mod_ids=all_ids, sum_p=sum_p, exit=exit_, members=members
+        )
+
+    # -- the table the ΔL kernel reads -----------------------------------------
+    def rebuild_table(
+        self,
+        own: Contribution,
+        received: "list[object]",
+        *,
+        ghost_singletons: bool = True,
+    ) -> None:
+        """Algorithm 3 lines 21-32: own contribution + received infos.
+
+        Args:
+            own: this rank's exact contribution.
+            received: one batch per sending neighbour — either a list
+                of :class:`ModuleInfo` records, or the array wire form
+                ``(mod_ids, sum_pr, exit_pr, num_members, is_sent)``
+                (what :meth:`prepare_swap` ships; same fields, one
+                array per column).
+            ghost_singletons: seed table entries for ghost/hub vertices
+                still in singleton modules from static preprocessing
+                data (flow / exit0), so round 0 can score moves before
+                any info has been swapped.
+        """
+        self.table_sum_p = dict(zip(own.mod_ids.tolist(), own.sum_p.tolist()))
+        self.table_exit = dict(zip(own.mod_ids.tolist(), own.exit.tolist()))
+        self.table_members = dict(
+            zip(own.mod_ids.tolist(), own.members.tolist())
+        )
+        for batch in received:
+            if isinstance(batch, tuple):
+                infos = zip(
+                    batch[0].tolist(), batch[1].tolist(),
+                    batch[2].tolist(), batch[3].tolist(),
+                    batch[4].tolist(),
+                )
+            else:
+                infos = (
+                    (i.mod_id, i.sum_pr, i.exit_pr, i.num_members, i.is_sent)
+                    for i in batch
+                )
+            for m, sum_pr, exit_pr, num_members, is_sent in infos:
+                if m not in self.table_sum_p:
+                    # "Build a new module according to m" (line 24).
+                    self.table_sum_p[m] = sum_pr
+                    self.table_exit[m] = exit_pr
+                    self.table_members[m] = num_members
+                elif not is_sent:
+                    # "Add the information of m" (line 27).
+                    self.table_sum_p[m] += sum_pr
+                    self.table_exit[m] += exit_pr
+                    self.table_members[m] += num_members
+                # else: duplicate within the round — skip (line 29).
+        if ghost_singletons:
+            lg = self.lg
+            # A remote vertex still in its singleton module that no
+            # neighbour reported on: its aggregates are known statically.
+            for li in range(lg.num_owned, lg.num_local):
+                m = int(self.module_of[li])
+                if m == int(lg.global_of[li]) and m not in self.table_sum_p:
+                    self.table_sum_p[m] = float(lg.flow[li])
+                    self.table_exit[m] = float(lg.exit0[li])
+                    self.table_members[m] = 1
+
+    def table_lookup(
+        self, mod_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (q_m, p_m) lookups for candidate modules."""
+        q = np.empty(mod_ids.size)
+        p = np.empty(mod_ids.size)
+        ge = self.table_exit.get
+        gp = self.table_sum_p.get
+        for i, m in enumerate(mod_ids.tolist()):
+            q[i] = ge(m, 0.0)
+            p[i] = gp(m, 0.0)
+        return q, p
+
+    def apply_local_move(
+        self,
+        local_idx: int,
+        new_module: int,
+        *,
+        p_u: float,
+        x_u: float,
+        d_old: float,
+        d_new: float,
+    ) -> None:
+        """Commit a move in the local view and update table estimates.
+
+        The table update uses the same primed-quantity algebra as the
+        sequential :meth:`ModuleStats.apply_move`; exactness is restored
+        at the next swap/rebuild, as in the paper.
+        """
+        old = int(self.module_of[local_idx])
+        if old == new_module:
+            return
+        self.module_of[local_idx] = new_module
+        q_old = self.table_exit.get(old, 0.0)
+        q_new = self.table_exit.get(new_module, 0.0)
+        q_old_after = q_old - x_u + 2.0 * d_old
+        q_new_after = q_new + x_u - 2.0 * d_new
+        self.sum_exit_global += (q_old_after - q_old) + (q_new_after - q_new)
+        self.table_exit[old] = q_old_after
+        self.table_exit[new_module] = q_new_after
+        self.table_sum_p[old] = self.table_sum_p.get(old, 0.0) - p_u
+        self.table_sum_p[new_module] = self.table_sum_p.get(new_module, 0.0) + p_u
+        self.table_members[old] = self.table_members.get(old, 1) - 1
+        self.table_members[new_module] = self.table_members.get(new_module, 0) + 1
+
+    # -- Algorithm 3: prepare outgoing batches -----------------------------------
+    def prepare_swap(
+        self,
+        own: Contribution,
+        moved_hub_modules: "set[int] | None" = None,
+        *,
+        as_arrays: bool = True,
+    ) -> "dict[int, object]":
+        """Lines 1-19: build one ``Module_Info`` batch per neighbour rank.
+
+        For every boundary vertex ghosted on rank ``R``, the *whole*
+        community information (this rank's contribution) of the
+        vertex's module goes to ``R``; modules of moved delegates go to
+        every neighbour.  Repeats within a round are emitted with
+        ``is_sent=True`` (the receiver keeps the association but skips
+        the numbers) — List 1's dedup mechanism, preserved verbatim so
+        the ablation can disable it.
+
+        Args:
+            as_arrays: ship each batch as the column-array wire form
+                ``(mod_ids, sum_pr, exit_pr, num_members, is_sent)``
+                (default; the List-1 struct-of-arrays).  ``False``
+                returns ``list[ModuleInfo]`` records (tests, docs).
+        """
+        lg = self.lg
+        cols: dict[int, list[tuple[int, float, float, int, bool]]] = {
+            int(r): [] for r in lg.neighbor_ranks
+        }
+        sent: set[tuple[int, int]] = set()
+
+        def emit(dest: int, mod_id: int) -> None:
+            key = (dest, mod_id)
+            already = key in sent
+            sent.add(key)
+            if already:
+                cols[dest].append((mod_id, 0.0, 0.0, 0, True))
+                return
+            pos = own.index_of(mod_id)
+            if pos >= 0:
+                cols[dest].append(
+                    (
+                        mod_id,
+                        float(own.sum_p[pos]),
+                        float(own.exit[pos]),
+                        int(own.members[pos]),
+                        False,
+                    )
+                )
+            else:
+                # No local contribution (e.g. the module only touches
+                # this rank through a delegate copy) — still announce
+                # the membership association with zero mass.
+                cols[dest].append((mod_id, 0.0, 0.0, 0, False))
+
+        # Hubs whose consensus move won this round (lines 2-9).
+        if moved_hub_modules:
+            for dest in cols:
+                for m in sorted(moved_hub_modules):
+                    emit(dest, m)
+        # Boundary vertices (lines 10-19).
+        for bl, ranks in zip(self.lg.boundary_local, self.lg.boundary_ranks):
+            m = int(self.module_of[bl])
+            for dest in ranks.tolist():
+                emit(int(dest), m)
+
+        if not as_arrays:
+            return {
+                dest: [ModuleInfo(*row) for row in rows]
+                for dest, rows in cols.items()
+            }
+        out: dict[int, object] = {}
+        for dest, rows in cols.items():
+            if not rows:
+                out[dest] = (
+                    np.empty(0, np.int64), np.empty(0), np.empty(0),
+                    np.empty(0, np.int64), np.empty(0, bool),
+                )
+                continue
+            ids, sp, ex, nm, snt = zip(*rows)
+            out[dest] = (
+                np.asarray(ids, dtype=np.int64),
+                np.asarray(sp),
+                np.asarray(ex),
+                np.asarray(nm, dtype=np.int64),
+                np.asarray(snt, dtype=bool),
+            )
+        return out
+
+    # -- delta variants (cross-round change detection) ----------------------
+    #
+    # Algorithm 3's ``isSent`` flag prevents the same community
+    # aggregate being double-added *within* a round; the natural
+    # engineering extension — what any production MPI implementation
+    # ships — is to also skip records that have not changed *across*
+    # rounds.  The delta variants below send a module's absolute
+    # contribution only when it changed (or is new for that
+    # destination); receivers keep one cache per peer and *replace*
+    # entries on receipt, so repeats are idempotent and the dedup
+    # concern disappears by construction.  ``delta_swap=False`` in the
+    # config falls back to the paper-literal always-send protocol.
+
+    def prepare_swap_delta(
+        self,
+        own: Contribution,
+        moved_hub_modules: "set[int] | None" = None,
+    ) -> "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+        """Like :meth:`prepare_swap` but only changed/new records.
+
+        Returns per-destination column arrays
+        ``(mod_ids, sum_pr, exit_pr, num_members)`` (no ``is_sent``
+        column — replace semantics make it moot).
+        """
+        lg = self.lg
+        # Which of my modules' contributions changed since last round?
+        changed: set[int] = set()
+        current: dict[int, tuple[float, float, int]] = {}
+        for i, m in enumerate(own.mod_ids.tolist()):
+            val = (float(own.sum_p[i]), float(own.exit[i]),
+                   int(own.members[i]))
+            current[m] = val
+            if self._last_sent.get(m) != val:
+                changed.add(m)
+        # Modules that vanished from my contribution must be zeroed at
+        # peers that have them cached.
+        vanished = {
+            m for m in self._last_sent if m not in current
+        }
+        self._last_sent = current
+
+        out: dict[int, list[tuple[int, float, float, int]]] = {
+            int(r): [] for r in lg.neighbor_ranks
+        }
+        emitted: set[tuple[int, int]] = set()
+
+        def emit(dest: int, m: int) -> None:
+            key = (dest, m)
+            if key in emitted:
+                return
+            is_new = key not in self._sent_pairs
+            if m not in changed and m not in vanished and not is_new:
+                return
+            emitted.add(key)
+            self._sent_pairs.add(key)
+            val = current.get(m, (0.0, 0.0, 0))
+            out[dest].append((m, val[0], val[1], val[2]))
+
+        if moved_hub_modules:
+            for dest in out:
+                for m in sorted(moved_hub_modules):
+                    emit(dest, m)
+        for bl, ranks in zip(lg.boundary_local, lg.boundary_ranks):
+            m = int(self.module_of[bl])
+            for dest in ranks.tolist():
+                emit(int(dest), m)
+        # Vanished modules go to every peer that ever received them.
+        for m in vanished:
+            for dest in out:
+                if (dest, m) in self._sent_pairs:
+                    emit(dest, m)
+
+        result: dict[int, tuple[np.ndarray, ...]] = {}
+        for dest, rows in out.items():
+            if not rows:
+                continue
+            ids, sp, ex, nm = zip(*rows)
+            result[dest] = (
+                np.asarray(ids, dtype=np.int64),
+                np.asarray(sp),
+                np.asarray(ex),
+                np.asarray(nm, dtype=np.int64),
+            )
+        return result
+
+    def apply_swap_delta(
+        self,
+        received: "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]",
+    ) -> None:
+        """Replace the cached contributions the senders refreshed."""
+        for src, (ids, sp, ex, nm) in received.items():
+            cache = self._peer_contrib.setdefault(src, {})
+            for i, m in enumerate(ids.tolist()):
+                cache[m] = (float(sp[i]), float(ex[i]), int(nm[i]))
+
+    def rebuild_table_from_caches(
+        self, own: Contribution, *, ghost_singletons: bool = True
+    ) -> None:
+        """Table = own contribution + every peer's cached contribution."""
+        self.table_sum_p = dict(zip(own.mod_ids.tolist(), own.sum_p.tolist()))
+        self.table_exit = dict(zip(own.mod_ids.tolist(), own.exit.tolist()))
+        self.table_members = dict(
+            zip(own.mod_ids.tolist(), own.members.tolist())
+        )
+        for cache in self._peer_contrib.values():
+            for m, (sp, ex, nm) in cache.items():
+                if m in self.table_sum_p:
+                    self.table_sum_p[m] += sp
+                    self.table_exit[m] += ex
+                    self.table_members[m] += nm
+                else:
+                    self.table_sum_p[m] = sp
+                    self.table_exit[m] = ex
+                    self.table_members[m] = nm
+        if ghost_singletons:
+            lg = self.lg
+            for li in range(lg.num_owned, lg.num_local):
+                m = int(self.module_of[li])
+                if m == int(lg.global_of[li]) and m not in self.table_sum_p:
+                    self.table_sum_p[m] = float(lg.flow[li])
+                    self.table_exit[m] = float(lg.exit0[li])
+                    self.table_members[m] = 1
+
+    def prepare_membership_sync_delta(
+        self,
+    ) -> "dict[int, tuple[np.ndarray, np.ndarray]]":
+        """Membership sync restricted to boundary vertices that moved."""
+        lg = self.lg
+        if self._synced_boundary is None:
+            # First sync: everything is "changed" relative to nothing.
+            self._synced_boundary = np.full(lg.boundary_local.size, -1,
+                                            dtype=np.int64)
+        out: dict[int, tuple[list[int], list[int]]] = {}
+        for i, (bl, ranks) in enumerate(
+            zip(lg.boundary_local, lg.boundary_ranks)
+        ):
+            mod = int(self.module_of[bl])
+            if mod == int(self._synced_boundary[i]):
+                continue
+            self._synced_boundary[i] = mod
+            gid = int(lg.global_of[bl])
+            for dest in ranks.tolist():
+                gids, mods = out.setdefault(int(dest), ([], []))
+                gids.append(gid)
+                mods.append(mod)
+        return {
+            dest: (
+                np.asarray(gids, dtype=np.int64),
+                np.asarray(mods, dtype=np.int64),
+            )
+            for dest, (gids, mods) in out.items()
+        }
+
+    # -- boundary membership sync --------------------------------------------------
+    def prepare_membership_sync(self) -> "dict[int, tuple[np.ndarray, np.ndarray]]":
+        """Per ghosting rank: ``(global vertex ids, module ids)`` arrays."""
+        out: dict[int, tuple[list[int], list[int]]] = {}
+        lg = self.lg
+        for bl, ranks in zip(lg.boundary_local, lg.boundary_ranks):
+            gid = int(lg.global_of[bl])
+            mod = int(self.module_of[bl])
+            for dest in ranks.tolist():
+                gids, mods = out.setdefault(int(dest), ([], []))
+                gids.append(gid)
+                mods.append(mod)
+        return {
+            dest: (
+                np.asarray(gids, dtype=np.int64),
+                np.asarray(mods, dtype=np.int64),
+            )
+            for dest, (gids, mods) in out.items()
+        }
+
+    def apply_membership_sync(
+        self,
+        received: "list[tuple[np.ndarray, np.ndarray]]",
+        ghost_index: dict[int, int],
+    ) -> list[int]:
+        """Install received ghost module ids (receiver half of the sync).
+
+        Returns the local indices of ghosts whose module actually
+        changed — the active-set pruning needs exactly that signal.
+        """
+        changed: list[int] = []
+        for gids, mods in received:
+            for gid, mod in zip(gids.tolist(), mods.tolist()):
+                li = ghost_index.get(gid)
+                if li is not None and int(self.module_of[li]) != mod:
+                    self.module_of[li] = mod
+                    changed.append(li)
+        return changed
+
+    # -- boundary-module tracking (min-label rule) ------------------------------------
+    def boundary_modules(self) -> set[int]:
+        """Modules currently touching a ghost or a boundary vertex.
+
+        A move *into* one of these is a cross-rank decision, so the
+        min-label anti-bouncing rule applies to it (§3.4).
+        """
+        lg = self.lg
+        mods: set[int] = set(
+            self.module_of[lg.ghost_slice()].tolist()
+        )
+        mods.update(self.module_of[self.lg.boundary_local].tolist())
+        mods.update(self.module_of[lg.hub_slice()].tolist())
+        return mods

@@ -1,0 +1,82 @@
+"""Per-phase timing and work accounting for the distributed algorithm.
+
+The paper's Figure 8 breaks one clustering iteration into *Find Best
+Module*, *Broadcast Delegates*, *Swap Boundary Information* and
+*Other*.  :class:`PhaseTimer` accumulates, per rank:
+
+* wall-clock seconds per phase (``perf_counter``; valid for relative
+  breakdowns on one machine),
+* abstract *work units* per phase (edge scans — the deterministic
+  input to the scalability cost model, immune to GIL effects).
+
+Entering a phase also tags the communicator so the byte meters
+attribute traffic to the same phase names.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..simmpi.comm import Communicator
+
+__all__ = [
+    "PhaseTimer",
+    "PHASE_FIND_BEST",
+    "PHASE_BROADCAST_DELEGATES",
+    "PHASE_SWAP_BOUNDARY",
+    "PHASE_OTHER",
+    "PHASE_MEASUREMENT",
+    "PHASES",
+]
+
+#: Canonical phase names matching the paper's Figure 8 legend.
+PHASE_FIND_BEST = "find_best_module"
+PHASE_BROADCAST_DELEGATES = "broadcast_delegates"
+PHASE_SWAP_BOUNDARY = "swap_boundary_info"
+PHASE_OTHER = "other"
+#: Reproduction-only instrumentation (exact global codelength); not a
+#: paper phase and excluded from modeled runtime.
+PHASE_MEASUREMENT = "measurement"
+PHASES = (
+    PHASE_FIND_BEST,
+    PHASE_BROADCAST_DELEGATES,
+    PHASE_SWAP_BOUNDARY,
+    PHASE_OTHER,
+)
+
+
+class PhaseTimer:
+    """Accumulates per-phase seconds and work units for one rank."""
+
+    def __init__(self, comm: Communicator | None = None) -> None:
+        self.seconds: dict[str, float] = {}
+        self.work: dict[str, float] = {}
+        self._comm = comm
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block under *name*; nested phases are not supported
+        (the paper's breakdown is flat), so re-entry raises."""
+        if getattr(self, "_active", None) is not None:
+            raise RuntimeError(
+                f"phase {name!r} entered while {self._active!r} active"
+            )
+        self._active = name
+        if self._comm is not None:
+            self._comm.set_phase(name)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.seconds[name] = self.seconds.get(name, 0.0) + dt
+            self._active = None
+
+    def add_work(self, name: str, units: float) -> None:
+        """Record *units* of compute work (edge scans) under *name*."""
+        self.work[name] = self.work.get(name, 0.0) + units
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {"seconds": dict(self.seconds), "work": dict(self.work)}

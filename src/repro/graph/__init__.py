@@ -1,0 +1,118 @@
+"""Graph substrate: CSR storage, construction, IO, generators, datasets.
+
+The public surface other packages build on:
+
+* :class:`~repro.graph.graph.Graph` — immutable CSR undirected graph.
+* :mod:`~repro.graph.builder` — edge-array → Graph canonicalization.
+* :mod:`~repro.graph.io` — edge-list / METIS / Pajek readers & writers.
+* :mod:`~repro.graph.generators` — scale-free and planted-community
+  synthetic workloads.
+* :mod:`~repro.graph.datasets` — Table 1 dataset stand-ins.
+* :mod:`~repro.graph.coarsen` — community merging for the multi-level
+  algorithms.
+* :mod:`~repro.graph.degree` — degree statistics and hub detection.
+"""
+
+from .builder import from_adjacency, from_edge_array, from_edges, relabel_compact
+from .coarsen import CoarseGraph, coarsen, compact_labels, project_labels
+from .datasets import (
+    DATASET_SPECS,
+    LARGE_DATASETS,
+    MEDIUM_DATASETS,
+    SMALL_DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from .digraph import DiGraph, digraph_from_edge_array, digraph_from_edges
+from .components import (
+    component_sizes,
+    connected_components,
+    largest_component,
+    num_connected_components,
+)
+from .degree import (
+    DegreeSummary,
+    degree_histogram,
+    degree_summary,
+    hub_edge_fraction,
+    hub_vertices,
+    powerlaw_mle,
+)
+from .generators import (
+    LabeledGraph,
+    barabasi_albert,
+    caveman,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid2d,
+    path_graph,
+    planted_partition,
+    powerlaw_configuration,
+    powerlaw_planted_partition,
+    ring_of_cliques,
+    star,
+)
+from .graph import Graph
+from .io import (
+    read_edgelist,
+    read_metis,
+    read_pajek,
+    write_edgelist,
+    write_metis,
+    write_pajek,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "LARGE_DATASETS",
+    "MEDIUM_DATASETS",
+    "SMALL_DATASETS",
+    "CoarseGraph",
+    "Dataset",
+    "DatasetSpec",
+    "DegreeSummary",
+    "DiGraph",
+    "digraph_from_edge_array",
+    "digraph_from_edges",
+    "Graph",
+    "LabeledGraph",
+    "barabasi_albert",
+    "caveman",
+    "coarsen",
+    "compact_labels",
+    "complete_graph",
+    "component_sizes",
+    "connected_components",
+    "cycle_graph",
+    "dataset_names",
+    "degree_histogram",
+    "degree_summary",
+    "erdos_renyi",
+    "from_adjacency",
+    "from_edge_array",
+    "from_edges",
+    "grid2d",
+    "hub_edge_fraction",
+    "hub_vertices",
+    "largest_component",
+    "num_connected_components",
+    "load_dataset",
+    "path_graph",
+    "planted_partition",
+    "powerlaw_configuration",
+    "powerlaw_mle",
+    "powerlaw_planted_partition",
+    "project_labels",
+    "read_edgelist",
+    "read_metis",
+    "read_pajek",
+    "relabel_compact",
+    "ring_of_cliques",
+    "star",
+    "write_edgelist",
+    "write_metis",
+    "write_pajek",
+]

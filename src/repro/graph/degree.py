@@ -1,0 +1,126 @@
+"""Degree statistics and hub detection.
+
+The delegate partitioner's whole premise is that real graphs have
+power-law tails; this module provides the measurements that justify a
+``d_high`` threshold choice (the paper sets ``d_high = p``, the
+processor count) and the statistics the workload-balance experiments
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "degree_histogram",
+    "powerlaw_mle",
+    "hub_vertices",
+    "hub_edge_fraction",
+    "DegreeSummary",
+    "degree_summary",
+]
+
+
+def degree_histogram(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(degrees, counts)`` over the distinct degrees present."""
+    degs = graph.degrees()
+    values, counts = np.unique(degs, return_counts=True)
+    return values, counts
+
+
+def powerlaw_mle(graph: Graph, *, kmin: int = 1) -> float:
+    """Continuous-approximation MLE of the power-law exponent.
+
+    ``alpha = 1 + n_tail / Σ ln(k_i / (kmin - 0.5))`` over vertices with
+    degree ≥ ``kmin`` (Clauset–Shalizi–Newman).  Used by the dataset
+    stand-ins to check they actually landed in the scale-free regime.
+    """
+    degs = graph.degrees()
+    tail = degs[degs >= kmin].astype(np.float64)
+    if tail.size == 0:
+        raise ValueError(f"no vertices with degree >= {kmin}")
+    denom = np.log(tail / (kmin - 0.5)).sum()
+    if denom <= 0:
+        raise ValueError("degenerate degree sequence (all at kmin)")
+    return 1.0 + tail.size / denom
+
+
+def hub_vertices(graph: Graph, d_high: int) -> np.ndarray:
+    """Vertices with ``degree > d_high`` — the delegates-to-be.
+
+    The paper's default is ``d_high = p`` (the processor count): with
+    more processors, more vertices qualify as hubs and get duplicated.
+    """
+    if d_high < 0:
+        raise ValueError(f"d_high must be >= 0, got {d_high}")
+    return np.flatnonzero(graph.degrees() > d_high)
+
+
+def hub_edge_fraction(graph: Graph, d_high: int) -> float:
+    """Fraction of adjacency entries whose source is a hub.
+
+    This is ``|E_high| / |E|`` in the paper's notation — the share of
+    the edge set the delegate partitioner may freely re-place.
+    """
+    degs = graph.degrees()
+    if graph.nnz == 0:
+        return 0.0
+    return float(degs[degs > d_high].sum()) / float(graph.nnz)
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """The degree facts reported in the experiment tables."""
+
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    powerlaw_alpha: float | None
+    gini: float
+
+    def __str__(self) -> str:
+        alpha = f"{self.powerlaw_alpha:.2f}" if self.powerlaw_alpha else "-"
+        return (
+            f"n={self.num_vertices} m={self.num_edges} "
+            f"deg[min/med/mean/max]={self.min_degree}/"
+            f"{self.median_degree:.0f}/{self.mean_degree:.2f}/"
+            f"{self.max_degree} alpha={alpha} gini={self.gini:.2f}"
+        )
+
+
+def degree_summary(graph: Graph) -> DegreeSummary:
+    """Compute a :class:`DegreeSummary` (vectorized, O(n log n))."""
+    degs = graph.degrees()
+    if degs.size == 0:
+        raise ValueError("empty graph")
+    sorted_degs = np.sort(degs).astype(np.float64)
+    n = sorted_degs.size
+    total = sorted_degs.sum()
+    if total > 0:
+        # Gini coefficient of the degree distribution: 0 = regular
+        # graph, →1 = a single hub owns all edges.
+        idx = np.arange(1, n + 1)
+        gini = float((2 * idx - n - 1) @ sorted_degs / (n * total))
+    else:
+        gini = 0.0
+    try:
+        alpha = powerlaw_mle(graph, kmin=max(1, int(np.median(degs))))
+    except ValueError:
+        alpha = None
+    return DegreeSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        min_degree=int(degs.min()),
+        max_degree=int(degs.max()),
+        mean_degree=float(degs.mean()),
+        median_degree=float(np.median(degs)),
+        powerlaw_alpha=alpha,
+        gini=gini,
+    )

@@ -1,0 +1,176 @@
+"""Directed graphs: the substrate for the paper's directed extension.
+
+The paper (§2.2) notes the original Infomap is defined on directed
+graphs — flow comes from a teleporting random walk (PageRank) instead
+of relative degrees — and that the distributed algorithm extends
+accordingly.  This module provides the minimal directed substrate: a
+CSR of outgoing edges with the reverse (incoming) CSR derived on
+demand, plus builders and IO glue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["DiGraph", "digraph_from_edges", "digraph_from_edge_array"]
+
+
+@dataclass(frozen=True)
+class DiGraph:
+    """An immutable directed weighted graph in out-CSR form.
+
+    Attributes:
+        out_indptr: ``int64[n+1]`` offsets into the outgoing arrays.
+        out_indices: ``int64[m]`` edge targets.
+        out_weights: ``float64[m]`` edge weights.
+
+    Self-loops are allowed (they carry recorded flow that never exits a
+    module); parallel edges are merged by the builders.
+    """
+
+    out_indptr: np.ndarray
+    out_indices: np.ndarray
+    out_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.out_indptr[0] != 0 or self.out_indptr[-1] != self.out_indices.size:
+            raise ValueError("out_indptr must start at 0 and end at m")
+        if self.out_indices.shape != self.out_weights.shape:
+            raise ValueError("indices and weights must align")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.out_indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.out_indices.size)
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.out_weights.sum())
+
+    # -- outgoing side ---------------------------------------------------
+    def successors(self, u: int) -> np.ndarray:
+        return self.out_indices[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def successor_weights(self, u: int) -> np.ndarray:
+        return self.out_weights[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.out_indptr)
+
+    def out_strength(self) -> np.ndarray:
+        out = np.zeros(self.num_vertices)
+        np.add.at(out, self._src_of_edge(), self.out_weights)
+        return out
+
+    def _src_of_edge(self) -> np.ndarray:
+        cache = self.__dict__.get("_srcs")
+        if cache is None:
+            cache = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64),
+                self.out_degrees(),
+            )
+            object.__setattr__(self, "_srcs", cache)
+        return cache
+
+    # -- incoming side (derived lazily) --------------------------------------
+    def reverse_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(in_indptr, in_sources, in_weights)`` — the transposed CSR."""
+        cache = self.__dict__.get("_rev")
+        if cache is None:
+            order = np.argsort(self.out_indices, kind="stable")
+            in_sources = self._src_of_edge()[order]
+            in_weights = self.out_weights[order]
+            in_indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            np.add.at(in_indptr, self.out_indices + 1, 1)
+            np.cumsum(in_indptr, out=in_indptr)
+            cache = (in_indptr, in_sources, in_weights)
+            object.__setattr__(self, "_rev", cache)
+        return cache
+
+    def in_degrees(self) -> np.ndarray:
+        return np.bincount(self.out_indices, minlength=self.num_vertices)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All directed edges as ``(src, dst, w)``."""
+        return self._src_of_edge(), self.out_indices, self.out_weights
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"W={self.total_weight:.4g})"
+        )
+
+
+def digraph_from_edge_array(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None = None,
+    *,
+    num_vertices: int | None = None,
+) -> DiGraph:
+    """Build a :class:`DiGraph` from parallel edge arrays.
+
+    Parallel edges merge by summing weights; self-loops are kept.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must align")
+    if weights is None:
+        w = np.ones(src.size)
+    else:
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if w.shape != src.shape:
+            raise ValueError("weights must align with edges")
+        if np.any(w <= 0) or not np.all(np.isfinite(w)):
+            raise ValueError("weights must be positive and finite")
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+    n = int(num_vertices) if num_vertices is not None else (
+        int(max(src.max(initial=-1), dst.max(initial=-1))) + 1 if src.size
+        else 0
+    )
+    if src.size and max(src.max(initial=0), dst.max(initial=0)) >= n:
+        raise ValueError("num_vertices smaller than max id + 1")
+
+    if src.size:
+        key = src * np.int64(n) + dst
+        order = np.argsort(key, kind="stable")
+        key, src, dst, w = key[order], src[order], dst[order], w[order]
+        uniq, start = np.unique(key, return_index=True)
+        if uniq.size != key.size:
+            w = np.add.reduceat(w, start)
+            src, dst = src[start], dst[start]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return DiGraph(out_indptr=indptr, out_indices=dst, out_weights=w)
+
+
+def digraph_from_edges(
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    *,
+    num_vertices: int | None = None,
+) -> DiGraph:
+    """Build a :class:`DiGraph` from ``(u, v[, w])`` tuples."""
+    us, vs, ws = [], [], []
+    for e in edges:
+        if len(e) == 2:
+            u, v = e  # type: ignore[misc]
+            w = 1.0
+        else:
+            u, v, w = e  # type: ignore[misc]
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+    return digraph_from_edge_array(
+        np.asarray(us, np.int64), np.asarray(vs, np.int64),
+        np.asarray(ws), num_vertices=num_vertices,
+    )

@@ -1,0 +1,427 @@
+"""Synthetic graph generators: the workload factory for every experiment.
+
+The paper's phenomena are driven by two structural properties —
+power-law degree tails (hubs → Figures 6–8) and planted community
+structure (→ Figures 4–5, Table 2) — so the generators cover both
+families plus deterministic fixtures for unit tests.
+
+All generators take an explicit ``seed`` and are reproducible: the same
+``(parameters, seed)`` always yields the same graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .builder import from_edge_array
+from .graph import Graph
+
+__all__ = [
+    "LabeledGraph",
+    "barabasi_albert",
+    "powerlaw_configuration",
+    "erdos_renyi",
+    "planted_partition",
+    "powerlaw_planted_partition",
+    "ring_of_cliques",
+    "caveman",
+    "star",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "grid2d",
+]
+
+
+@dataclass(frozen=True)
+class LabeledGraph:
+    """A graph together with its planted ground-truth communities.
+
+    ``labels[u]`` is the planted community of vertex ``u``; generators
+    without planted structure return plain :class:`Graph` objects
+    instead.
+    """
+
+    graph: Graph
+    labels: np.ndarray
+    params: dict = field(default_factory=dict)
+
+    @property
+    def num_communities(self) -> int:
+        return int(np.unique(self.labels).size)
+
+
+# ---------------------------------------------------------------------------
+# Scale-free / hub-heavy generators (drive the partitioning experiments)
+# ---------------------------------------------------------------------------
+
+def barabasi_albert(n: int, m: int, *, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential attachment: power-law with hubs.
+
+    Each of the ``n - m`` arriving vertices attaches *m* edges to
+    existing vertices with probability proportional to current degree
+    (implemented with the classic repeated-endpoints trick: sampling
+    uniformly from the running half-edge list is exactly
+    degree-proportional sampling).
+
+    Args:
+        n: number of vertices (``n > m``).
+        m: edges added per arriving vertex (``m >= 1``).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if n <= m:
+        raise ValueError(f"need n > m, got n={n}, m={m}")
+    rng = np.random.default_rng(seed)
+    # Start from a star on m+1 vertices so every vertex has degree >= 1.
+    repeated: list[int] = []
+    src: list[int] = []
+    dst: list[int] = []
+    for v in range(1, m + 1):
+        src.append(0)
+        dst.append(v)
+        repeated += [0, v]
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(repeated[rng.integers(len(repeated))]))
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            repeated += [v, t]
+    return from_edge_array(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        num_vertices=n,
+    )
+
+
+def powerlaw_configuration(
+    n: int,
+    *,
+    exponent: float = 2.3,
+    min_degree: int = 2,
+    max_degree: int | None = None,
+    seed: int = 0,
+) -> Graph:
+    """Configuration-model graph with a discrete power-law degree sequence.
+
+    Degrees are drawn from ``P(k) ∝ k^{-exponent}`` on
+    ``[min_degree, max_degree]`` (default cap ``sqrt(n)·10``, which
+    keeps the realized maximum near the natural cutoff of scale-free
+    graphs), then stubs are matched uniformly at random.  Self-loops
+    and parallel edges produced by the matching are dropped — standard
+    practice, and the loss fraction is O(⟨k²⟩/n).
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must be > 1, got {exponent}")
+    if min_degree < 1:
+        raise ValueError("min_degree must be >= 1")
+    rng = np.random.default_rng(seed)
+    kmax = max_degree if max_degree is not None else max(min_degree + 1,
+                                                         int(10 * np.sqrt(n)))
+    ks = np.arange(min_degree, kmax + 1, dtype=np.float64)
+    pmf = ks ** (-exponent)
+    pmf /= pmf.sum()
+    degrees = rng.choice(ks.astype(np.int64), size=n, p=pmf)
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(n))] += 1
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    src = stubs[0::2]
+    dst = stubs[1::2]
+    keep = src != dst
+    return from_edge_array(src[keep], dst[keep], num_vertices=n, dedup="first")
+
+
+def erdos_renyi(n: int, p: float, *, seed: int = 0) -> Graph:
+    """G(n, p) random graph, vectorized via binomial edge-count sampling.
+
+    For each vertex pair block we sample the number of edges then their
+    positions, avoiding the O(n²) dense Bernoulli matrix for sparse p.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    n_pairs = n * (n - 1) // 2
+    m = int(rng.binomial(n_pairs, p))
+    if m == 0:
+        return from_edge_array(
+            np.empty(0, np.int64), np.empty(0, np.int64), num_vertices=n
+        )
+    # Sample pair indices without replacement, decode to (u, v).
+    idx = rng.choice(n_pairs, size=m, replace=False)
+    # Pair k of the upper triangle: solve u from the triangular numbers.
+    u = (n - 2 - np.floor(
+        np.sqrt(-8.0 * idx + 4.0 * n * (n - 1) - 7) / 2.0 - 0.5
+    )).astype(np.int64)
+    v = (idx + u + 1 - n * (n - 1) // 2 + (n - u) * ((n - u) - 1) // 2).astype(
+        np.int64
+    )
+    return from_edge_array(u, v, num_vertices=n)
+
+
+# ---------------------------------------------------------------------------
+# Planted-community generators (ground truth for the quality experiments)
+# ---------------------------------------------------------------------------
+
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int = 0,
+) -> LabeledGraph:
+    """Equal-size stochastic block model (planted partition).
+
+    Intra-community pairs connect with ``p_in``, inter-community pairs
+    with ``p_out``; recoverable community structure needs
+    ``p_in >> p_out``.  Sampling is blockwise-vectorized.
+    """
+    if num_communities < 1 or community_size < 1:
+        raise ValueError("need at least one community of at least one vertex")
+    if not (0 <= p_out <= p_in <= 1):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    rng = np.random.default_rng(seed)
+    n = num_communities * community_size
+    labels = np.repeat(np.arange(num_communities), community_size)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for ci in range(num_communities):
+        base_i = ci * community_size
+        # Intra-community block (upper triangle).
+        iu, iv = np.triu_indices(community_size, k=1)
+        mask = rng.random(iu.size) < p_in
+        srcs.append(base_i + iu[mask])
+        dsts.append(base_i + iv[mask])
+        # Inter-community blocks against later communities.
+        for cj in range(ci + 1, num_communities):
+            base_j = cj * community_size
+            if p_out <= 0.0:
+                continue
+            n_pairs = community_size * community_size
+            cnt = int(rng.binomial(n_pairs, p_out))
+            if cnt == 0:
+                continue
+            flat = rng.choice(n_pairs, size=cnt, replace=False)
+            srcs.append(base_i + flat // community_size)
+            dsts.append(base_j + flat % community_size)
+    src = np.concatenate(srcs) if srcs else np.empty(0, np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, np.int64)
+    g = from_edge_array(src.astype(np.int64), dst.astype(np.int64), num_vertices=n)
+    return LabeledGraph(
+        graph=g,
+        labels=labels,
+        params={
+            "kind": "planted_partition",
+            "num_communities": num_communities,
+            "community_size": community_size,
+            "p_in": p_in,
+            "p_out": p_out,
+            "seed": seed,
+        },
+    )
+
+
+def powerlaw_planted_partition(
+    n: int,
+    num_communities: int,
+    *,
+    mu: float = 0.2,
+    exponent: float = 2.3,
+    min_degree: int = 3,
+    max_degree: int | None = None,
+    size_exponent: float = 1.5,
+    seed: int = 0,
+) -> LabeledGraph:
+    """LFR-style benchmark: power-law degrees *and* planted communities.
+
+    This is the generator behind the realistic dataset stand-ins: like
+    the LFR benchmark it combines a power-law degree sequence
+    (``exponent``), power-law community sizes (``size_exponent``), and
+    a mixing parameter ``mu`` — the expected fraction of each vertex's
+    edges that leave its community.  Construction: assign each vertex a
+    degree and a community, split its stubs ``(1-mu)`` intra / ``mu``
+    inter, then match intra-stubs within the community and inter-stubs
+    globally (configuration-model style; collisions dropped).
+
+    Smaller ``mu`` ⇒ crisper communities.  ``mu ≈ 0.5`` is already hard
+    for most algorithms.
+    """
+    if not (0.0 <= mu <= 1.0):
+        raise ValueError(f"mu must be in [0, 1], got {mu}")
+    if num_communities < 1 or num_communities > n:
+        raise ValueError("need 1 <= num_communities <= n")
+    rng = np.random.default_rng(seed)
+
+    # Power-law community sizes, normalized to sum to n.
+    raw = rng.pareto(size_exponent, size=num_communities) + 1.0
+    sizes = np.maximum(1, np.round(raw / raw.sum() * n)).astype(np.int64)
+    # Fix rounding drift deterministically.
+    while sizes.sum() > n:
+        sizes[int(np.argmax(sizes))] -= 1
+    while sizes.sum() < n:
+        sizes[int(np.argmin(sizes))] += 1
+    labels = np.repeat(np.arange(num_communities), sizes)
+
+    # Power-law degrees.
+    kmax = max_degree if max_degree is not None else max(
+        min_degree + 1, int(np.sqrt(n) * 3)
+    )
+    ks = np.arange(min_degree, kmax + 1, dtype=np.float64)
+    pmf = ks ** (-exponent)
+    pmf /= pmf.sum()
+    degrees = rng.choice(ks.astype(np.int64), size=n, p=pmf)
+
+    intra_deg = np.round(degrees * (1.0 - mu)).astype(np.int64)
+    inter_deg = degrees - intra_deg
+
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    # Intra-community matching, one community at a time.
+    start = 0
+    for size in sizes:
+        members = np.arange(start, start + size, dtype=np.int64)
+        start += size
+        if size < 2:
+            continue
+        stubs = np.repeat(members, intra_deg[members])
+        if stubs.size % 2 == 1:
+            stubs = stubs[:-1]
+        rng.shuffle(stubs)
+        s, d = stubs[0::2], stubs[1::2]
+        keep = s != d
+        srcs.append(s[keep])
+        dsts.append(d[keep])
+    # Global inter-community matching.
+    stubs = np.repeat(np.arange(n, dtype=np.int64), inter_deg)
+    if stubs.size % 2 == 1:
+        stubs = stubs[:-1]
+    rng.shuffle(stubs)
+    s, d = stubs[0::2], stubs[1::2]
+    keep = s != d
+    srcs.append(s[keep])
+    dsts.append(d[keep])
+
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    g = from_edge_array(src, dst, num_vertices=n, dedup="first")
+    return LabeledGraph(
+        graph=g,
+        labels=labels,
+        params={
+            "kind": "powerlaw_planted_partition",
+            "n": n,
+            "num_communities": num_communities,
+            "mu": mu,
+            "exponent": exponent,
+            "seed": seed,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic fixtures (unit tests and convergence sanity checks)
+# ---------------------------------------------------------------------------
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> LabeledGraph:
+    """``num_cliques`` cliques joined in a ring by single bridge edges.
+
+    The canonical community-detection fixture: ground truth is obvious,
+    and any sane algorithm must recover the cliques exactly.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise ValueError("need num_cliques >= 1 and clique_size >= 2")
+    n = num_cliques * clique_size
+    srcs: list[int] = []
+    dsts: list[int] = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                srcs.append(base + i)
+                dsts.append(base + j)
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            srcs.append(c * clique_size)
+            dsts.append(((c + 1) % num_cliques) * clique_size + 1 % clique_size)
+    g = from_edge_array(
+        np.asarray(srcs, np.int64), np.asarray(dsts, np.int64), num_vertices=n
+    )
+    labels = np.repeat(np.arange(num_cliques), clique_size)
+    return LabeledGraph(graph=g, labels=labels,
+                        params={"kind": "ring_of_cliques",
+                                "num_cliques": num_cliques,
+                                "clique_size": clique_size})
+
+
+def caveman(num_caves: int, cave_size: int, *, rewire: float = 0.0,
+            seed: int = 0) -> LabeledGraph:
+    """Connected caveman graph with optional edge rewiring noise."""
+    lg = ring_of_cliques(num_caves, cave_size)
+    if rewire <= 0.0:
+        return LabeledGraph(lg.graph, lg.labels,
+                            {**lg.params, "kind": "caveman", "rewire": 0.0})
+    rng = np.random.default_rng(seed)
+    src, dst, w = lg.graph.edge_array()
+    src, dst = src.copy(), dst.copy()
+    n = lg.graph.num_vertices
+    flip = rng.random(src.size) < rewire
+    dst[flip] = rng.integers(0, n, size=int(flip.sum()))
+    keep = src != dst
+    g = from_edge_array(src[keep], dst[keep], num_vertices=n, dedup="first")
+    return LabeledGraph(g, lg.labels,
+                        {**lg.params, "kind": "caveman", "rewire": rewire,
+                         "seed": seed})
+
+
+def star(n_leaves: int) -> Graph:
+    """Hub vertex 0 connected to ``n_leaves`` leaves — the extreme hub case."""
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    src = np.zeros(n_leaves, dtype=np.int64)
+    dst = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return from_edge_array(src, dst, num_vertices=n_leaves + 1)
+
+
+def path_graph(n: int) -> Graph:
+    """Simple path 0-1-...-(n-1)."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    src = np.arange(0, n - 1, dtype=np.int64)
+    return from_edge_array(src, src + 1, num_vertices=n)
+
+
+def cycle_graph(n: int) -> Graph:
+    """Simple cycle on n vertices (n >= 3)."""
+    if n < 3:
+        raise ValueError("need n >= 3")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return from_edge_array(src, dst, num_vertices=n)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    iu, iv = np.triu_indices(n, k=1)
+    return from_edge_array(iu.astype(np.int64), iv.astype(np.int64),
+                           num_vertices=n)
+
+
+def grid2d(rows: int, cols: int) -> Graph:
+    """4-connected grid — a hub-free, community-free control workload."""
+    if rows < 1 or cols < 1:
+        raise ValueError("need rows, cols >= 1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_s, right_d = ids[:, :-1].ravel(), ids[:, 1:].ravel()
+    down_s, down_d = ids[:-1, :].ravel(), ids[1:, :].ravel()
+    return from_edge_array(
+        np.concatenate([right_s, down_s]),
+        np.concatenate([right_d, down_d]),
+        num_vertices=rows * cols,
+    )

@@ -1,0 +1,206 @@
+"""Graph file IO: edge-list, METIS and Pajek formats.
+
+These are the formats the paper's datasets ship in (SNAP edge lists,
+WebGraph exports converted to edge lists, METIS partitioner inputs);
+supporting them means a user can point this library at the real
+Friendster/UK-2007 files on a machine that can hold them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io as _io
+from pathlib import Path
+from typing import IO, Iterable
+
+import numpy as np
+
+from .builder import from_edge_array, relabel_compact
+from .graph import Graph
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_metis",
+    "write_metis",
+    "read_pajek",
+    "write_pajek",
+]
+
+
+def _open_text(path: str | Path, mode: str) -> IO[str]:
+    p = Path(path)
+    if p.suffix == ".gz":
+        return gzip.open(p, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(p, mode, encoding="utf-8")
+
+
+def read_edgelist(
+    path: str | Path,
+    *,
+    comments: str = "#",
+    weighted: bool | None = None,
+    relabel: bool = False,
+) -> Graph | tuple[Graph, np.ndarray]:
+    """Read a whitespace-separated edge list (SNAP convention).
+
+    Lines are ``u v`` or ``u v w``; lines starting with *comments* are
+    skipped; ``.gz`` paths are decompressed transparently.
+
+    Args:
+        weighted: force (``True``)/forbid (``False``) a weight column;
+            ``None`` auto-detects from the first data line.
+        relabel: when True, compact arbitrary vertex ids onto
+            ``0..n-1`` and also return the ``original_ids`` array.
+    """
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if weighted is None:
+                weighted = len(parts) >= 3
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'u v [w]', got {line!r}")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            if weighted:
+                if len(parts) < 3:
+                    raise ValueError(f"{path}:{lineno}: missing weight column")
+                ws.append(float(parts[2]))
+    src = np.asarray(us, dtype=np.int64)
+    dst = np.asarray(vs, dtype=np.int64)
+    wts = np.asarray(ws, dtype=np.float64) if weighted else None
+    if relabel:
+        src, dst, original = relabel_compact(src, dst)
+        return from_edge_array(src, dst, wts), original
+    return from_edge_array(src, dst, wts)
+
+
+def write_edgelist(graph: Graph, path: str | Path, *, weighted: bool | None = None
+                   ) -> None:
+    """Write each undirected edge once as ``u v [w]``."""
+    if weighted is None:
+        weighted = graph.is_weighted()
+    with _open_text(path, "w") as fh:
+        for u, v, w in graph.edges():
+            if weighted:
+                fh.write(f"{u} {v} {w:.17g}\n")
+            else:
+                fh.write(f"{u} {v}\n")
+
+
+def read_metis(path: str | Path) -> Graph:
+    """Read a METIS ``.graph`` file (1-indexed adjacency lists).
+
+    Header: ``n m [fmt]``; fmt ``1`` means edge weights follow each
+    neighbour id.  Vertex weights (fmt ``10``/``11``) are not supported.
+    """
+    with _open_text(path, "r") as fh:
+        header: list[str] | None = None
+        rows: list[str] = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            if header is None:
+                header = line.split()
+            else:
+                rows.append(line)
+    if header is None:
+        raise ValueError(f"{path}: empty METIS file")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt not in ("0", "1", "001"):
+        raise ValueError(f"{path}: unsupported METIS fmt {fmt!r} (vertex weights)")
+    has_ew = fmt in ("1", "001")
+    if len(rows) != n:
+        raise ValueError(f"{path}: header says n={n} but found {len(rows)} rows")
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    for u, row in enumerate(rows):
+        parts = row.split()
+        step = 2 if has_ew else 1
+        for i in range(0, len(parts), step):
+            v = int(parts[i]) - 1
+            us.append(u)
+            vs.append(v)
+            if has_ew:
+                ws.append(float(parts[i + 1]))
+    g = from_edge_array(
+        np.asarray(us, np.int64),
+        np.asarray(vs, np.int64),
+        np.asarray(ws) if has_ew else None,
+        num_vertices=n,
+        dedup="first",
+    )
+    if g.num_edges != m:
+        raise ValueError(f"{path}: header says m={m} but adjacency has {g.num_edges}")
+    return g
+
+
+def write_metis(graph: Graph, path: str | Path) -> None:
+    """Write METIS ``.graph`` (self-loops are not representable; rejected)."""
+    if graph.num_self_loops:
+        raise ValueError("METIS format cannot represent self-loops")
+    weighted = graph.is_weighted()
+    with _open_text(path, "w") as fh:
+        fmt = " 1" if weighted else ""
+        fh.write(f"{graph.num_vertices} {graph.num_edges}{fmt}\n")
+        for u in range(graph.num_vertices):
+            nbrs = graph.neighbors(u)
+            if weighted:
+                wts = graph.neighbor_weights(u)
+                fh.write(" ".join(f"{v + 1} {w:.17g}" for v, w in zip(nbrs, wts)))
+            else:
+                fh.write(" ".join(str(v + 1) for v in nbrs))
+            fh.write("\n")
+
+
+def read_pajek(path: str | Path) -> Graph:
+    """Read a Pajek ``.net`` file (``*Vertices`` / ``*Edges`` sections)."""
+    n = None
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    section = None
+    with _open_text(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            low = line.lower()
+            if low.startswith("*vertices"):
+                n = int(line.split()[1])
+                section = "vertices"
+                continue
+            if low.startswith("*edges") or low.startswith("*arcs"):
+                section = "edges"
+                continue
+            if section == "edges":
+                parts = line.split()
+                us.append(int(parts[0]) - 1)
+                vs.append(int(parts[1]) - 1)
+                ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if n is None:
+        raise ValueError(f"{path}: missing *Vertices section")
+    return from_edge_array(
+        np.asarray(us, np.int64), np.asarray(vs, np.int64),
+        np.asarray(ws), num_vertices=n,
+    )
+
+
+def write_pajek(graph: Graph, path: str | Path) -> None:
+    """Write a Pajek ``.net`` file."""
+    with _open_text(path, "w") as fh:
+        fh.write(f"*Vertices {graph.num_vertices}\n")
+        for u in range(graph.num_vertices):
+            fh.write(f'{u + 1} "{u}"\n')
+        fh.write("*Edges\n")
+        for u, v, w in graph.edges():
+            fh.write(f"{u + 1} {v + 1} {w:.17g}\n")

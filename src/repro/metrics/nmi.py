@@ -1,0 +1,98 @@
+"""Normalized Mutual Information between two partitions.
+
+The first of the paper's three Table-2 quality measurements.  All
+computation runs on the contingency table (sparse, via ``np.unique``
+over paired labels), so comparing two million-vertex partitions costs
+one sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["contingency", "mutual_information", "entropy", "nmi"]
+
+
+def _as_labels(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {x.shape}")
+    _, compact = np.unique(x, return_inverse=True)
+    return compact
+
+
+def contingency(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparse contingency table of two labelings.
+
+    Returns ``(counts, row, col)`` — ``counts[i]`` vertices have label
+    ``row[i]`` in *a* and ``col[i]`` in *b*.
+    """
+    a = _as_labels(a)
+    b = _as_labels(b)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"labelings must cover the same vertices: {a.size} vs {b.size}"
+        )
+    nb = int(b.max()) + 1 if b.size else 0
+    key = a.astype(np.int64) * max(nb, 1) + b
+    uniq, counts = np.unique(key, return_counts=True)
+    return counts.astype(np.int64), uniq // max(nb, 1), uniq % max(nb, 1)
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy of a labeling, in nats."""
+    labels = _as_labels(labels)
+    if labels.size == 0:
+        return 0.0
+    counts = np.bincount(labels).astype(np.float64)
+    p = counts[counts > 0] / labels.size
+    return float(-(p * np.log(p)).sum())
+
+
+def mutual_information(a: np.ndarray, b: np.ndarray) -> float:
+    """Mutual information between two labelings, in nats."""
+    counts, row, col = contingency(a, b)
+    n = counts.sum()
+    if n == 0:
+        return 0.0
+    a_counts = np.bincount(_as_labels(a)).astype(np.float64)
+    b_counts = np.bincount(_as_labels(b)).astype(np.float64)
+    pij = counts / n
+    pi = a_counts[row] / n
+    pj = b_counts[col] / n
+    return float((pij * np.log(pij / (pi * pj))).sum())
+
+
+def nmi(a: np.ndarray, b: np.ndarray, *, average: str = "arithmetic") -> float:
+    """Normalized Mutual Information in ``[0, 1]``.
+
+    Args:
+        average: normalization denominator — ``"arithmetic"``
+            ``(H(a)+H(b))/2`` (default; what community-detection papers
+            conventionally report), ``"geometric"``, ``"min"``, or
+            ``"max"``.
+
+    Identical partitions give 1.0; independent ones approach 0.0.  The
+    degenerate all-one-cluster vs all-one-cluster comparison is defined
+    as 1.0 (both entropies zero, partitions equal).
+    """
+    ha = entropy(a)
+    hb = entropy(b)
+    if ha == 0.0 and hb == 0.0:
+        return 1.0
+    mi = mutual_information(a, b)
+    if average == "arithmetic":
+        denom = (ha + hb) / 2.0
+    elif average == "geometric":
+        denom = float(np.sqrt(ha * hb))
+    elif average == "min":
+        denom = min(ha, hb)
+    elif average == "max":
+        denom = max(ha, hb)
+    else:
+        raise ValueError(f"unknown average {average!r}")
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(mi / denom, 0.0, 1.0))

@@ -1,0 +1,36 @@
+"""Partitioning: 1D baselines, delegate partitioning, local views, balance."""
+
+from .balance import (
+    BalanceStats,
+    PartitionComparison,
+    balance_stats,
+    compare_partitions,
+)
+from .delegates import DelegatePartition, delegate_partition
+from .distgraph import (
+    LocalGraph,
+    build_local_graphs,
+    local_views_1d,
+    local_views_delegate,
+)
+from .ghosts import ghost_counts_1d, ghost_sets_1d, ghost_sets_from_entry_ranks
+from .oned import OneDPartition, block_owners, round_robin_owners
+
+__all__ = [
+    "BalanceStats",
+    "DelegatePartition",
+    "LocalGraph",
+    "OneDPartition",
+    "PartitionComparison",
+    "balance_stats",
+    "block_owners",
+    "build_local_graphs",
+    "compare_partitions",
+    "delegate_partition",
+    "ghost_counts_1d",
+    "ghost_sets_1d",
+    "ghost_sets_from_entry_ranks",
+    "local_views_1d",
+    "local_views_delegate",
+    "round_robin_owners",
+]

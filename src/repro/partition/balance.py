@@ -1,0 +1,113 @@
+"""Balance metrics: the numbers behind Figures 6 and 7.
+
+Given per-rank workload (edge counts) or communication (ghost counts),
+compute the min / max / mean / imbalance-factor statistics the paper's
+plots show, for both partitioning strategies side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .delegates import DelegatePartition, delegate_partition
+from .ghosts import ghost_counts_1d
+from .oned import OneDPartition
+
+__all__ = ["BalanceStats", "balance_stats", "compare_partitions", "PartitionComparison"]
+
+
+@dataclass(frozen=True)
+class BalanceStats:
+    """Summary of a per-rank load vector."""
+
+    per_rank: np.ndarray
+    label: str
+
+    @property
+    def min(self) -> int:
+        return int(self.per_rank.min())
+
+    @property
+    def max(self) -> int:
+        return int(self.per_rank.max())
+
+    @property
+    def mean(self) -> float:
+        return float(self.per_rank.mean())
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean — 1.0 is perfect balance; the paper reports 1D
+        imbalances of several orders of magnitude on the web crawls."""
+        mean = self.mean
+        return float(self.max / mean) if mean > 0 else 0.0
+
+    @property
+    def spread(self) -> float:
+        """max / max(min, 1) — the min-vs-max gap Figure 6 highlights."""
+        return float(self.max) / float(max(self.min, 1))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: min={self.min} max={self.max} "
+            f"mean={self.mean:.1f} imbalance={self.imbalance:.2f}"
+        )
+
+
+def balance_stats(per_rank: np.ndarray, label: str) -> BalanceStats:
+    per_rank = np.asarray(per_rank, dtype=np.int64)
+    if per_rank.size == 0:
+        raise ValueError("need at least one rank")
+    return BalanceStats(per_rank=per_rank, label=label)
+
+
+@dataclass(frozen=True)
+class PartitionComparison:
+    """1D vs delegate, workload and communication, for one (graph, p).
+
+    This is one cell of Figures 6–7: ``workload_*`` are per-rank stored
+    edge counts, ``ghosts_*`` per-rank ghost vertex counts.
+    """
+
+    nranks: int
+    workload_1d: BalanceStats
+    workload_delegate: BalanceStats
+    ghosts_1d: BalanceStats
+    ghosts_delegate: BalanceStats
+    num_hubs: int
+    d_high: int
+
+    def workload_improvement(self) -> float:
+        """How much the delegate scheme narrows the max workload."""
+        return self.workload_1d.max / max(self.workload_delegate.max, 1)
+
+    def ghost_improvement(self) -> float:
+        return self.ghosts_1d.max / max(self.ghosts_delegate.max, 1)
+
+
+def compare_partitions(
+    graph: Graph,
+    nranks: int,
+    *,
+    d_high: int | None = None,
+    rebalance: bool = True,
+) -> PartitionComparison:
+    """Compute the full 1D-vs-delegate comparison for one configuration."""
+    oned = OneDPartition.round_robin(graph, nranks)
+    dele: DelegatePartition = delegate_partition(
+        graph, nranks, d_high=d_high, rebalance=rebalance
+    )
+    return PartitionComparison(
+        nranks=nranks,
+        workload_1d=balance_stats(oned.edges_per_rank(graph), "1D workload"),
+        workload_delegate=balance_stats(dele.edges_per_rank(), "delegate workload"),
+        ghosts_1d=balance_stats(
+            ghost_counts_1d(graph, oned.owner, nranks), "1D ghosts"
+        ),
+        ghosts_delegate=balance_stats(dele.ghost_counts(), "delegate ghosts"),
+        num_hubs=dele.num_hubs,
+        d_high=dele.d_high,
+    )

@@ -1,0 +1,186 @@
+"""Delegate partitioning — §3.3 of the paper, after Pearce et al.
+
+High-degree vertices (*delegates*, degree > ``d_high``) are duplicated
+on every rank, and their adjacency entries are placed by *target*
+rather than by source, then re-placed freely to equalize per-rank edge
+counts.  Low-degree vertices keep plain round-robin 1D ownership.  The
+result: every rank holds ≈ |E|/p adjacency entries and a bounded ghost
+set, which is the load/communication balance Figures 6–7 demonstrate.
+
+The four construction steps mirror the paper exactly:
+
+1. degree computation → visit probabilities (done by the flow layer),
+2. hub detection at threshold ``d_high`` (default: the rank count),
+3. placement — ``E_low`` entries by source owner, ``E_high`` entries by
+   target owner (hub targets fall back to their round-robin home),
+4. rebalancing — move ``E_high`` entries from overloaded ranks to
+   underloaded ranks until every rank is within one entry of ⌈nnz/p⌉.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .ghosts import ghost_sets_from_entry_ranks
+from .oned import round_robin_owners
+
+__all__ = ["DelegatePartition", "delegate_partition"]
+
+
+@dataclass(frozen=True)
+class DelegatePartition:
+    """The outcome of delegate partitioning.
+
+    Attributes:
+        owner: ``int64[n]`` round-robin *home* rank of every vertex
+            (meaningful for low-degree vertices; for hubs it is the
+            accounting home that carries their visit-probability mass
+            exactly once).
+        is_hub: ``bool[n]`` — delegated vertices.
+        entry_rank: ``int64[nnz]`` — the rank storing each adjacency
+            entry of the input graph (aligned with ``graph.indices``).
+        d_high: the degree threshold used.
+        nranks: rank count.
+    """
+
+    graph: Graph
+    owner: np.ndarray
+    is_hub: np.ndarray
+    entry_rank: np.ndarray
+    d_high: int
+    nranks: int
+
+    # -- balance metrics (Figures 6-7) ---------------------------------
+    def edges_per_rank(self) -> np.ndarray:
+        """Stored adjacency entries per rank (Figure 6, delegate series)."""
+        return np.bincount(self.entry_rank, minlength=self.nranks).astype(np.int64)
+
+    def ghost_sets(self) -> list[np.ndarray]:
+        return ghost_sets_from_entry_ranks(
+            self.graph,
+            self.entry_rank,
+            owner=self.owner,
+            is_hub=self.is_hub,
+            nranks=self.nranks,
+        )
+
+    def ghost_counts(self) -> np.ndarray:
+        """Per-rank ghost counts (Figure 7, delegate series)."""
+        return np.asarray([g.size for g in self.ghost_sets()], dtype=np.int64)
+
+    @property
+    def hub_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.is_hub)
+
+    @property
+    def num_hubs(self) -> int:
+        return int(np.count_nonzero(self.is_hub))
+
+    def validate(self) -> None:
+        """Structural invariants (tests): every entry placed on a valid
+        rank; low-degree source entries sit with their source's owner."""
+        if self.entry_rank.min(initial=0) < 0 or (
+            self.entry_rank.size and self.entry_rank.max() >= self.nranks
+        ):
+            raise ValueError("entry_rank out of range")
+        rows = self.graph._row_of_entry()
+        low_src = ~self.is_hub[rows]
+        if not np.array_equal(
+            self.entry_rank[low_src], self.owner[rows[low_src]]
+        ):
+            raise ValueError("a low-degree vertex's entry left its owner rank")
+
+
+def delegate_partition(
+    graph: Graph,
+    nranks: int,
+    *,
+    d_high: int | None = None,
+    rebalance: bool = True,
+) -> DelegatePartition:
+    """Partition *graph* over *nranks* ranks with vertex delegates.
+
+    Args:
+        d_high: hub degree threshold; ``None`` uses the paper's default
+            ``d_high = nranks``.
+        rebalance: apply step 4 (re-place hub entries onto underloaded
+            ranks).  Disabling it is the partition ablation.
+
+    Returns:
+        A :class:`DelegatePartition`; with ``nranks == 1`` everything
+        trivially lands on rank 0 and no vertex is a hub (delegation is
+        pointless without peers).
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    n = graph.num_vertices
+    owner = round_robin_owners(n, nranks)
+    degrees = graph.degrees()
+    threshold = d_high if d_high is not None else nranks
+    if threshold < 1:
+        raise ValueError(f"d_high must be >= 1, got {threshold}")
+    is_hub = (degrees > threshold) if nranks > 1 else np.zeros(n, dtype=bool)
+
+    rows = graph._row_of_entry()
+    targets = graph.indices
+    # Step 3: E_low by source owner, E_high by target owner (hub targets
+    # are delegated everywhere, so their home rank is as good a base
+    # placement as any — step 4 may move those entries anyway).
+    entry_rank = np.where(is_hub[rows], owner[targets], owner[rows]).astype(np.int64)
+
+    if rebalance and nranks > 1:
+        entry_rank = _rebalance(entry_rank, is_hub[rows], nranks)
+
+    return DelegatePartition(
+        graph=graph,
+        owner=owner,
+        is_hub=is_hub,
+        entry_rank=entry_rank,
+        d_high=threshold,
+        nranks=nranks,
+    )
+
+
+def _rebalance(
+    entry_rank: np.ndarray, movable: np.ndarray, nranks: int
+) -> np.ndarray:
+    """Step 4: move movable (hub-sourced) entries to underloaded ranks.
+
+    Greedy and fully vectorized: compute each rank's surplus over the
+    ideal ⌈nnz/p⌉, take that many movable entries from each overloaded
+    rank, and deal them out to ranks with deficits.  One pass suffices
+    because every surplus entry is movable-bounded; any residual
+    imbalance (not enough movable entries on an overloaded rank) is
+    exactly the imbalance the paper's scheme would also leave.
+    """
+    entry_rank = entry_rank.copy()
+    counts = np.bincount(entry_rank, minlength=nranks).astype(np.int64)
+    total = int(counts.sum())
+    ideal = -(-total // nranks)  # ceil
+
+    surplus = counts - ideal
+    donors = np.flatnonzero(surplus > 0)
+    receivers = np.flatnonzero(surplus < 0)
+    if donors.size == 0 or receivers.size == 0:
+        return entry_rank
+
+    # Collect movable entry indices from each donor, up to its surplus.
+    moved: list[np.ndarray] = []
+    for r in donors:
+        pool = np.flatnonzero(movable & (entry_rank == r))
+        take = min(int(surplus[r]), pool.size)
+        if take > 0:
+            moved.append(pool[:take])
+    if not moved:
+        return entry_rank
+    moved_idx = np.concatenate(moved)
+
+    # Deal them to receivers, filling each deficit in turn.
+    deficits = -surplus[receivers]
+    assignment = np.repeat(receivers, deficits.astype(np.int64))
+    k = min(assignment.size, moved_idx.size)
+    entry_rank[moved_idx[:k]] = assignment[:k]
+    return entry_rank

@@ -1,0 +1,280 @@
+"""Abstract communicator interface for the SPMD runtime.
+
+The surface mirrors the subset of ``mpi4py.MPI.Comm`` the distributed
+Infomap algorithm needs — lowercase, pickle-style generic-object
+methods (``send``/``recv``/``bcast``/``allreduce``/``alltoall``...)
+plus a sparse neighbour exchange that maps onto ``isend``/``irecv``
+pairs in a real MPI port.  Code written against this interface runs
+unchanged on :class:`~repro.simmpi.serial.SerialCommunicator`
+(``size == 1``, no threads) and
+:class:`~repro.simmpi.threadcomm.ThreadCommunicator` (one OS thread
+per rank).
+
+Porting note: each method documents its mpi4py equivalent so the
+algorithm can be moved onto a real cluster by swapping this class for a
+thin adapter over ``MPI.COMM_WORLD``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Sequence
+
+from .stats import RankStats
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "ReduceOp",
+    "Request",
+    "resolve_op",
+]
+
+#: Wildcard source for :meth:`Communicator.recv` (mpi4py: ``MPI.ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`Communicator.recv` (mpi4py: ``MPI.ANY_TAG``).
+ANY_TAG = -1
+
+#: A reduction operator: either one of the named strings understood by
+#: :func:`resolve_op` (``"sum"``, ``"min"``, ``"max"``, ``"prod"``,
+#: ``"land"``, ``"lor"``) or a binary callable.
+ReduceOp = "str | Callable[[Any, Any], Any]"
+
+_NAMED_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: b if b < a else a,
+    "max": lambda a, b: b if b > a else a,
+    "land": lambda a, b: bool(a) and bool(b),
+    "lor": lambda a, b: bool(a) or bool(b),
+}
+
+
+def resolve_op(op: Any) -> Callable[[Any, Any], Any]:
+    """Turn a named or callable reduction into a binary callable.
+
+    Named operators match mpi4py's ``MPI.SUM``/``MPI.MIN``/... set.
+    Element-wise behaviour on numpy arrays comes for free because the
+    lambdas use the arrays' own operators.
+    """
+    if callable(op):
+        return op
+    try:
+        return _NAMED_OPS[op]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown reduce op {op!r}; expected a callable or one of "
+            f"{sorted(_NAMED_OPS)}"
+        ) from None
+
+
+class Communicator(ABC):
+    """A group of ``size`` SPMD ranks that can exchange Python objects.
+
+    All collective methods must be called by *every* rank of the
+    communicator, in the same order, with consistent arguments — the
+    same contract real MPI imposes.  The thread implementation verifies
+    the contract eagerly (mismatches raise
+    :class:`~repro.simmpi.errors.CollectiveMismatchError` instead of
+    hanging).
+    """
+
+    # -- identity ---------------------------------------------------------
+    @property
+    @abstractmethod
+    def rank(self) -> int:
+        """This process's index in ``[0, size)`` (mpi4py: ``Get_rank``)."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the communicator (mpi4py: ``Get_size``)."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> RankStats:
+        """Communication counters for this rank (simulation-only)."""
+
+    def set_phase(self, phase: str) -> None:
+        """Attribute subsequent traffic to a named phase (simulation-only)."""
+        self.stats.set_phase(phase)
+
+    # -- point to point ----------------------------------------------------
+    @abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send *obj* to rank *dest* (mpi4py: ``send``).
+
+        Buffered semantics: the call returns once the message is
+        enqueued at the destination, so ``send``/``send`` exchanges
+        between two ranks cannot deadlock (matching mpi4py's eager
+        protocol for small messages).
+        """
+
+    @abstractmethod
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive one message (mpi4py: ``recv``).  Blocks until matched."""
+
+    @abstractmethod
+    def recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Like :meth:`recv` but also returns ``(obj, actual_source, actual_tag)``
+        (mpi4py: ``recv`` with a ``Status`` object)."""
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send+receive (mpi4py: ``sendrecv``)."""
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    # -- nonblocking point to point ------------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send (mpi4py: ``isend``).
+
+        The runtime's sends are buffered, so the returned request is
+        already complete; it exists so SPMD code written with the
+        isend/irecv idiom ports without change.
+        """
+        self.send(obj, dest, tag=tag)
+        return Request._completed(None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Nonblocking receive (mpi4py: ``irecv``).
+
+        Matching is deferred to :meth:`Request.wait`/:meth:`Request.test`
+        — the request holds the ``(source, tag)`` pattern, not a
+        message, exactly like a posted MPI receive.
+        """
+        return Request._pending(self, source, tag)
+
+    # -- collectives --------------------------------------------------------
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered (mpi4py: ``barrier``)."""
+
+    @abstractmethod
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast *obj* from *root* to all ranks (mpi4py: ``bcast``)."""
+
+    @abstractmethod
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank onto *root* (mpi4py: ``gather``)."""
+
+    @abstractmethod
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank onto every rank (mpi4py: ``allgather``)."""
+
+    @abstractmethod
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``objs[i]`` from *root* to rank ``i`` (mpi4py: ``scatter``)."""
+
+    @abstractmethod
+    def reduce(self, obj: Any, op: Any = "sum", root: int = 0) -> Any | None:
+        """Reduce contributions onto *root* (mpi4py: ``reduce``)."""
+
+    @abstractmethod
+    def allreduce(self, obj: Any, op: Any = "sum") -> Any:
+        """Reduce contributions onto every rank (mpi4py: ``allreduce``)."""
+
+    @abstractmethod
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: rank *i* receives ``objs_j[i]`` from
+        every rank *j* (mpi4py: ``alltoall``)."""
+
+    # -- sparse neighbour exchange -------------------------------------------
+    def exchange(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
+        """Sparse personalized exchange: send ``msgs[dest]`` to each *dest*,
+        return ``{src: payload}`` for every rank that addressed us.
+
+        This is the primitive behind the paper's *Swap Boundary
+        Information* step.  On a real cluster it maps onto
+        ``isend``/``irecv`` pairs (or ``MPI_Neighbor_alltoallv``); here
+        it is implemented over :meth:`alltoall` with ``None`` holes so
+        the default implementation is deadlock-free by construction.
+        Only the non-``None`` entries are metered.
+        """
+        out: list[Any] = [None] * self.size
+        for dest, payload in msgs.items():
+            if not (0 <= dest < self.size):
+                from .errors import InvalidRankError
+
+                raise InvalidRankError(dest, self.size)
+            if dest == self.rank:
+                raise ValueError("exchange() does not support self-sends")
+            out[dest] = payload
+        incoming = self.alltoall(out)
+        return {src: p for src, p in enumerate(incoming) if p is not None}
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py: ``Request``).
+
+    Two flavours exist in this runtime: already-complete send requests
+    (sends are buffered) and pending receive requests, which match a
+    message when :meth:`wait` or :meth:`test` is called.
+    """
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(self) -> None:  # use the factory classmethods
+        self._comm: "Communicator | None" = None
+        self._source = ANY_SOURCE
+        self._tag = ANY_TAG
+        self._done = True
+        self._value: Any = None
+
+    @classmethod
+    def _completed(cls, value: Any) -> "Request":
+        req = cls()
+        req._done = True
+        req._value = value
+        return req
+
+    @classmethod
+    def _pending(cls, comm: "Communicator", source: int, tag: int) -> "Request":
+        req = cls()
+        req._comm = comm
+        req._source = source
+        req._tag = tag
+        req._done = False
+        return req
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def wait(self) -> Any:
+        """Block until complete; return the received object (or the
+        sent-request's ``None``).  Idempotent after completion."""
+        if not self._done:
+            assert self._comm is not None
+            self._value = self._comm.recv(source=self._source, tag=self._tag)
+            self._done = True
+        return self._value
+
+    def test(self) -> "tuple[bool, Any]":
+        """Non-blocking completion probe: ``(done, value_or_None)``.
+
+        For a pending receive this attempts a match without blocking
+        (mpi4py: ``Request.test``); if no matching message has arrived
+        yet it returns ``(False, None)`` and the request stays pending.
+        """
+        if self._done:
+            return True, self._value
+        assert self._comm is not None
+        probe = getattr(self._comm, "try_recv", None)
+        if probe is None:  # communicator without nonblocking support
+            return False, None
+        found, value = probe(self._source, self._tag)
+        if found:
+            self._value = value
+            self._done = True
+            return True, value
+        return False, None

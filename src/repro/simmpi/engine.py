@@ -1,0 +1,154 @@
+"""SPMD job launcher: the simulation's ``mpiexec``.
+
+:func:`run_spmd` runs one Python function on ``nranks`` ranks — each
+rank its own OS thread with a private :class:`ThreadCommunicator` —
+joins them, and returns every rank's return value together with the
+communication ledger.  It is the only entry point the rest of the
+library uses to go parallel, so swapping the backend (threads here,
+``mpiexec`` + mpi4py on a cluster) touches exactly one seam.
+
+Failure semantics match ``MPI_Abort``: the first rank to raise poisons
+the job; every other rank's next blocking call raises
+:class:`~.errors.AbortError`; the original exception is re-raised to
+the caller with the failing rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .errors import AbortError, DeadlockError
+from .serial import SerialCommunicator
+from .stats import CommLedger
+from .threadcomm import JobContext, ThreadCommunicator
+
+__all__ = ["SpmdResult", "run_spmd"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD job.
+
+    Attributes:
+        results: per-rank return values, indexed by rank.
+        ledger: communication counters for the whole job.
+    """
+
+    results: list[Any]
+    ledger: CommLedger
+
+    @property
+    def nranks(self) -> int:
+        return len(self.results)
+
+    def result(self, rank: int = 0) -> Any:
+        """Convenience accessor for a single rank's return value."""
+        return self.results[rank]
+
+
+@dataclass
+class _RankOutcome:
+    value: Any = None
+    error: BaseException | None = None
+    aborted: bool = False
+    done: bool = False
+    blocked_on: str = field(default="")
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    nranks: int,
+    *,
+    fn_args: Sequence[Any] = (),
+    fn_kwargs: dict[str, Any] | None = None,
+    copy_mode: str = "pickle",
+    timeout: float = 300.0,
+    op_timeout: float = 60.0,
+) -> SpmdResult:
+    """Run ``fn(comm, *fn_args, **fn_kwargs)`` on *nranks* ranks.
+
+    Args:
+        fn: the SPMD program.  Its first argument is this rank's
+            :class:`~repro.simmpi.comm.Communicator`.  All ranks receive
+            identical ``fn_args``/``fn_kwargs`` (scatter data through
+            the communicator, as one would with real MPI).
+        nranks: number of ranks.  ``1`` short-circuits to a
+            :class:`SerialCommunicator` on the calling thread.
+        copy_mode: ``"pickle"`` (default) round-trips every payload
+            through pickle for true distributed-memory isolation and
+            exact wire-byte accounting; ``"none"`` passes references
+            (fast, trusted code only).
+        timeout: overall wall-clock budget for the job; exceeded ⇒
+            :class:`DeadlockError` after tearing the ranks down.
+        op_timeout: per-blocking-call budget inside ranks.
+
+    Returns:
+        :class:`SpmdResult` with per-rank return values and the ledger.
+
+    Raises:
+        The first rank exception (re-raised on the caller's thread),
+        or :class:`DeadlockError` if ranks hung.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    kwargs = fn_kwargs or {}
+
+    if nranks == 1:
+        comm = SerialCommunicator()
+        value = fn(comm, *fn_args, **kwargs)
+        return SpmdResult(results=[value], ledger=comm.ledger)
+
+    ctx = JobContext(nranks, copy_mode=copy_mode, op_timeout=op_timeout)
+    outcomes = [_RankOutcome() for _ in range(nranks)]
+
+    def worker(rank: int) -> None:
+        comm = ThreadCommunicator(ctx, rank)
+        out = outcomes[rank]
+        try:
+            out.value = fn(comm, *fn_args, **kwargs)
+        except AbortError:
+            out.aborted = True
+        except BaseException as exc:  # noqa: BLE001 - must capture to re-raise
+            out.error = exc
+            ctx.abort(rank, exc)
+        finally:
+            out.done = True
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+
+    import time
+
+    deadline = time.monotonic() + timeout
+    for r, t in enumerate(threads):
+        remaining = max(deadline - time.monotonic(), 0.0)
+        t.join(timeout=remaining)
+        if t.is_alive():
+            ctx.abort(-1, DeadlockError("job timeout"))
+            break
+    # Second pass: give aborted ranks a moment to unwind.
+    for t in threads:
+        t.join(timeout=5.0)
+    stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+    if stuck:
+        raise DeadlockError(
+            f"ranks {stuck} still blocked after {timeout:.1f}s job timeout"
+        )
+
+    for rank, out in enumerate(outcomes):
+        if out.error is not None:
+            raise out.error
+    ab = ctx.abort_info()
+    if ab is not None:
+        failed_rank, cause = ab
+        if isinstance(cause, DeadlockError):
+            raise cause
+        raise AbortError(failed_rank, cause)
+
+    return SpmdResult(results=[o.value for o in outcomes], ledger=ctx.ledger)

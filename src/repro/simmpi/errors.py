@@ -1,0 +1,64 @@
+"""Exception types for the simulated MPI runtime.
+
+The error taxonomy deliberately mirrors what a real MPI program can
+observe: communicator misuse (bad rank / bad tag), deadlock (a rank
+blocked forever in ``recv`` or a collective), and aborts (one rank died,
+taking the job down, as ``MPI_Abort`` would).
+"""
+
+from __future__ import annotations
+
+
+class SimMpiError(Exception):
+    """Base class for all errors raised by :mod:`repro.simmpi`."""
+
+
+class InvalidRankError(SimMpiError, ValueError):
+    """A peer rank was outside ``[0, size)`` (and not a wildcard)."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        super().__init__(f"rank {rank} out of range for communicator of size {size}")
+        self.rank = rank
+        self.size = size
+
+
+class InvalidTagError(SimMpiError, ValueError):
+    """A message tag was negative (and not the ANY_TAG wildcard)."""
+
+    def __init__(self, tag: int) -> None:
+        super().__init__(f"tag must be >= 0 (or ANY_TAG), got {tag}")
+        self.tag = tag
+
+
+class DeadlockError(SimMpiError, RuntimeError):
+    """The engine's watchdog decided the SPMD program can no longer progress.
+
+    Raised to the *caller* of :func:`repro.simmpi.run_spmd` when one or
+    more ranks remain blocked past the configured timeout.  The message
+    lists the stuck ranks and what each was blocked on, which is the
+    information one would dig out of a stack dump on a real cluster.
+    """
+
+
+class AbortError(SimMpiError, RuntimeError):
+    """Another rank raised an exception; this rank was torn down.
+
+    Mirrors the behaviour of ``MPI_Abort``: once any rank fails, every
+    blocking call on every other rank raises :class:`AbortError` so the
+    whole job terminates promptly instead of deadlocking.
+    """
+
+    def __init__(self, failed_rank: int, cause: BaseException | None = None) -> None:
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(f"SPMD job aborted by rank {failed_rank}{detail}")
+        self.failed_rank = failed_rank
+        self.cause = cause
+
+
+class CollectiveMismatchError(SimMpiError, RuntimeError):
+    """Ranks disagreed on which collective they are executing.
+
+    Real MPI leaves this undefined (usually a hang or corrupted data);
+    we detect it eagerly because every collective call site passes an
+    operation label that must match across ranks.
+    """

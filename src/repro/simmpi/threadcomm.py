@@ -1,0 +1,394 @@
+"""Thread-backed communicator: one OS thread per rank, shared-nothing payloads.
+
+Distributed-memory isolation is what makes the simulation faithful: a
+payload is (by default) pickled at the sender and unpickled at each
+receiver, so ranks can never observe each other's mutations — exactly
+the property a real MPI job has, and the property that flushes out
+"accidentally worked because memory was shared" bugs in the algorithm.
+
+Blocking calls poll an abort flag so that when any rank raises, the
+whole job tears down with :class:`~.errors.AbortError` instead of
+hanging (``MPI_Abort`` semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+from collections import deque
+from typing import Any, Sequence
+
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, resolve_op
+from .errors import (
+    AbortError,
+    CollectiveMismatchError,
+    DeadlockError,
+    InvalidRankError,
+    InvalidTagError,
+)
+from .stats import CommLedger, RankStats, payload_nbytes
+
+__all__ = ["JobContext", "ThreadCommunicator", "Mailbox"]
+
+#: How often blocking waits re-check the abort flag (seconds).
+_POLL_INTERVAL = 0.02
+
+
+class Mailbox:
+    """Per-rank inbox with MPI-style ``(source, tag)`` matching.
+
+    Messages are buffered per ``(source, tag)`` key; wildcard receives
+    pick the earliest-arrived match (global arrival sequence numbers
+    give FIFO fairness across keys, and MPI's per-pair ordering
+    guarantee holds trivially because each key's deque is FIFO).
+    """
+
+    def __init__(self, ctx: "JobContext") -> None:
+        self._ctx = ctx
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[int, int], deque[tuple[int, Any]]] = {}
+        self._seq = itertools.count()
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._queues.setdefault((source, tag), deque()).append(
+                (next(self._seq), payload)
+            )
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> tuple[int, int] | None:
+        """Find the key of the earliest message matching the pattern."""
+        best_key: tuple[int, int] | None = None
+        best_seq = None
+        for (src, tg), q in self._queues.items():
+            if not q:
+                continue
+            if source != ANY_SOURCE and src != source:
+                continue
+            if tag != ANY_TAG and tg != tag:
+                continue
+            seq = q[0][0]
+            if best_seq is None or seq < best_seq:
+                best_seq, best_key = seq, (src, tg)
+        return best_key
+
+    def get(self, source: int, tag: int, timeout: float) -> tuple[Any, int, int]:
+        """Block until a matching message arrives; return ``(payload, src, tag)``."""
+        deadline = None if timeout is None else (_monotonic() + timeout)
+        with self._cond:
+            while True:
+                self._ctx.check_abort()
+                key = self._match(source, tag)
+                if key is not None:
+                    _seq, payload = self._queues[key].popleft()
+                    return payload, key[0], key[1]
+                if deadline is not None and _monotonic() >= deadline:
+                    raise DeadlockError(
+                        f"recv(source={source}, tag={tag}) timed out after "
+                        f"{timeout:.1f}s with no matching message"
+                    )
+                self._cond.wait(_POLL_INTERVAL)
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()
+
+
+class JobContext:
+    """Shared state for one SPMD job: ledger, mailboxes, collective board.
+
+    Created by the engine; each rank's :class:`ThreadCommunicator` holds
+    a reference.  The collective board is a classic two-phase scheme:
+    every rank deposits its contribution into its slot, a barrier fires,
+    every rank reads what it needs, a second barrier fires so the next
+    collective can safely overwrite the slots.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        copy_mode: str = "pickle",
+        op_timeout: float = 60.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if copy_mode not in ("pickle", "none"):
+            raise ValueError(f"copy_mode must be 'pickle' or 'none', got {copy_mode!r}")
+        self.size = size
+        self.copy_mode = copy_mode
+        self.op_timeout = op_timeout
+        self.ledger = CommLedger(size)
+        self.mailboxes = [Mailbox(self) for _ in range(size)]
+        self.board: list[Any] = [None] * size
+        self.board_labels: list[str | None] = [None] * size
+        self._barrier = threading.Barrier(size)
+        self._abort_lock = threading.Lock()
+        self._abort: tuple[int, BaseException | None] | None = None
+
+    # -- abort handling -----------------------------------------------------
+    def abort(self, rank: int, cause: BaseException | None) -> None:
+        with self._abort_lock:
+            if self._abort is None:
+                self._abort = (rank, cause)
+        self._barrier.abort()
+        # Wake every mailbox waiter so blocked ranks notice promptly.
+        for mb in self.mailboxes:
+            with mb._cond:
+                mb._cond.notify_all()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort is not None
+
+    def check_abort(self) -> None:
+        ab = self._abort
+        if ab is not None:
+            raise AbortError(ab[0], ab[1])
+
+    def abort_info(self) -> tuple[int, BaseException | None] | None:
+        return self._abort
+
+    # -- barrier with abort translation ---------------------------------------
+    def barrier_wait(self) -> None:
+        try:
+            self._barrier.wait(timeout=self.op_timeout)
+        except threading.BrokenBarrierError:
+            self.check_abort()
+            # Not an abort: a peer never arrived -> deadlock.  Mark the
+            # job aborted so other waiters unblock too.
+            err = DeadlockError(
+                f"collective barrier timed out after {self.op_timeout:.1f}s "
+                "(a rank never arrived)"
+            )
+            self.abort(-1, err)
+            raise err from None
+        self.check_abort()
+
+    # -- payload isolation -----------------------------------------------------
+    def encode(self, obj: Any) -> tuple[Any, int]:
+        """Prepare *obj* for crossing a rank boundary; return (wire, nbytes)."""
+        if self.copy_mode == "pickle":
+            wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            return wire, len(wire)
+        return obj, payload_nbytes(obj)
+
+    def decode(self, wire: Any) -> Any:
+        if self.copy_mode == "pickle":
+            return pickle.loads(wire)
+        return wire
+
+
+class ThreadCommunicator(Communicator):
+    """One rank's endpoint into a :class:`JobContext`."""
+
+    def __init__(self, ctx: JobContext, rank: int) -> None:
+        if not (0 <= rank < ctx.size):
+            raise InvalidRankError(rank, ctx.size)
+        self._ctx = ctx
+        self._rank = rank
+        self._stats = ctx.ledger.for_rank(rank)
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._ctx.size
+
+    @property
+    def stats(self) -> RankStats:
+        return self._stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ThreadCommunicator rank={self._rank} size={self.size}>"
+
+    # -- validation helpers --------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise InvalidRankError(peer, self.size)
+
+    @staticmethod
+    def _check_tag(tag: int, *, allow_any: bool) -> None:
+        if tag == ANY_TAG and allow_any:
+            return
+        if tag < 0:
+            raise InvalidTagError(tag)
+
+    # -- point to point ----------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._ctx.check_abort()
+        self._check_peer(dest)
+        self._check_tag(tag, allow_any=False)
+        wire, nbytes = self._ctx.encode(obj)
+        self._stats.record_send(nbytes)
+        self._ctx.mailboxes[dest].put(self._rank, tag, (wire, nbytes))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        return self.recv_status(source, tag)[0]
+
+    def recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        self._check_tag(tag, allow_any=True)
+        (wire, nbytes), src, tg = self._ctx.mailboxes[self._rank].get(
+            source, tag, timeout=self._ctx.op_timeout
+        )
+        self._stats.record_recv(nbytes)
+        return self._ctx.decode(wire), src, tg
+
+    def try_recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[bool, Any]:
+        """Nonblocking matching probe backing :meth:`Request.test`."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        self._check_tag(tag, allow_any=True)
+        mb = self._ctx.mailboxes[self._rank]
+        with mb._cond:
+            self._ctx.check_abort()
+            key = mb._match(source, tag)
+            if key is None:
+                return False, None
+            _seq, (wire, nbytes) = mb._queues[key].popleft()
+        self._stats.record_recv(nbytes)
+        return True, self._ctx.decode(wire)
+
+    # -- collective plumbing -----------------------------------------------------
+    def _collective_exchange(self, label: str, contribution: Any) -> list[Any]:
+        """Two-phase board exchange; returns every rank's *wire* payload.
+
+        The caller decodes only the entries it needs (so e.g. ``reduce``
+        on a non-root rank pays no decode cost) and is responsible for
+        metering via :meth:`RankStats.record_collective`.
+        """
+        ctx = self._ctx
+        ctx.board[self._rank] = contribution
+        ctx.board_labels[self._rank] = label
+        ctx.barrier_wait()
+        labels = set(ctx.board_labels)
+        if len(labels) != 1:
+            err = CollectiveMismatchError(
+                f"ranks disagree on collective operation: {sorted(labels)}"
+            )
+            ctx.abort(self._rank, err)
+            raise err
+        result = list(ctx.board)
+        ctx.barrier_wait()
+        return result
+
+    # -- collectives -----------------------------------------------------------
+    def barrier(self) -> None:
+        self._stats.record_barrier()
+        self._collective_exchange("barrier", None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_peer(root)
+        if self._rank == root:
+            wire, nbytes = self._ctx.encode(obj)
+            # Root pushes size-1 copies outward (naive linear accounting;
+            # the cost model applies a log(p) tree factor).
+            self._stats.record_collective(nbytes * (self.size - 1), 0)
+        else:
+            wire, nbytes = None, 0
+        board = self._collective_exchange(f"bcast:{root}", wire)
+        rwire = board[root]
+        rbytes = len(rwire) if isinstance(rwire, (bytes, bytearray)) else payload_nbytes(rwire)
+        if self._rank != root:
+            self._stats.record_collective(0, rbytes)
+            return self._ctx.decode(rwire)
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_peer(root)
+        wire, nbytes = self._ctx.encode(obj)
+        board = self._collective_exchange(f"gather:{root}", (wire, nbytes))
+        if self._rank == root:
+            self._stats.record_collective(0, sum(n for _w, n in board) - nbytes)
+            return [self._ctx.decode(w) for w, _n in board]
+        self._stats.record_collective(nbytes, 0)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        wire, nbytes = self._ctx.encode(obj)
+        board = self._collective_exchange("allgather", (wire, nbytes))
+        recv_bytes = sum(n for _w, n in board) - nbytes
+        self._stats.record_collective(nbytes * (self.size - 1), recv_bytes)
+        return [self._ctx.decode(w) for w, _n in board]
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_peer(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter root must pass exactly {self.size} objects, "
+                    f"got {None if objs is None else len(objs)}"
+                )
+            wires = [self._ctx.encode(o) for o in objs]
+            sent = sum(n for _w, n in wires) - wires[self._rank][1]
+            self._stats.record_collective(sent, 0)
+            board = self._collective_exchange(f"scatter:{root}", wires)
+        else:
+            board = self._collective_exchange(f"scatter:{root}", None)
+        wires = board[root]
+        wire, nbytes = wires[self._rank]
+        if self._rank != root:
+            self._stats.record_collective(0, nbytes)
+        return self._ctx.decode(wire)
+
+    def reduce(self, obj: Any, op: Any = "sum", root: int = 0) -> Any | None:
+        self._check_peer(root)
+        fn = resolve_op(op)
+        wire, nbytes = self._ctx.encode(obj)
+        board = self._collective_exchange(f"reduce:{root}", (wire, nbytes))
+        if self._rank == root:
+            self._stats.record_collective(0, sum(n for _w, n in board) - nbytes)
+            acc = self._ctx.decode(board[0][0])
+            for w, _n in board[1:]:
+                acc = fn(acc, self._ctx.decode(w))
+            return acc
+        self._stats.record_collective(nbytes, 0)
+        return None
+
+    def allreduce(self, obj: Any, op: Any = "sum") -> Any:
+        fn = resolve_op(op)
+        wire, nbytes = self._ctx.encode(obj)
+        board = self._collective_exchange("allreduce", (wire, nbytes))
+        recv_bytes = sum(n for _w, n in board) - nbytes
+        self._stats.record_collective(nbytes, recv_bytes)
+        acc = self._ctx.decode(board[0][0])
+        for w, _n in board[1:]:
+            acc = fn(acc, self._ctx.decode(w))
+        return acc
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly {self.size} entries, got {len(objs)}"
+            )
+        wires = [
+            None if o is None else self._ctx.encode(o) for o in objs
+        ]
+        sent = sum(n for e in wires if e is not None for n in (e[1],) )
+        nmsgs = sum(1 for i, e in enumerate(wires) if e is not None and i != self._rank)
+        board = self._collective_exchange("alltoall", wires)
+        out: list[Any] = [None] * self.size
+        recv_bytes = 0
+        for src in range(self.size):
+            entry = board[src][self._rank]
+            if entry is not None:
+                wire, nbytes = entry
+                out[src] = self._ctx.decode(wire)
+                if src != self._rank:
+                    recv_bytes += nbytes
+        # Meter each non-None outgoing entry as one message.
+        self._stats.record_collective(sent, recv_bytes)
+        self._stats.messages_by_phase[self._stats.phase] += max(nmsgs - 1, 0)
+        return out

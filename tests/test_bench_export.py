@@ -1,0 +1,44 @@
+"""CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import result_to_json, rows_to_csv, table1
+
+
+def test_rows_to_csv_roundtrip(tmp_path):
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}]
+    path = tmp_path / "out.csv"
+    rows_to_csv(rows, path)
+    back = list(csv.DictReader(open(path)))
+    assert back[0]["a"] == "1" and back[0]["b"] == "2.5"
+    assert back[1]["c"] == "x" and back[1]["b"] == ""
+
+
+def test_rows_to_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        rows_to_csv([], tmp_path / "x.csv")
+
+
+def test_result_to_json_drops_text_and_coerces_numpy(tmp_path):
+    out = table1(scale=0.25)
+    path = tmp_path / "t1.json"
+    result_to_json(out, path)
+    data = json.loads(path.read_text())
+    assert "text" not in data
+    assert len(data["rows"]) == 9
+    assert isinstance(data["rows"][0]["standin_V"], int)
+
+
+def test_cli_bench_export(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "fig6.csv"
+    rc = main(["bench", "--experiment", "fig6", "--ranks", "4",
+               "--scale", "0.2", "-o", str(path)])
+    assert rc == 0
+    rows = list(csv.DictReader(open(path)))
+    assert len(rows) == 4  # one per large dataset
+    assert "exported" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Command-line interface: every subcommand end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import ring_of_cliques, write_edgelist
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_dataset_and_input_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--dataset", "dblp", "--input", "x.txt"]
+            )
+
+    def test_bench_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--experiment", "fig99"])
+
+
+class TestCluster:
+    def test_sequential_on_dataset(self, capsys):
+        rc = main(["cluster", "--dataset", "dblp", "--scale", "0.3",
+                   "--method", "sequential"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sequential:" in out
+        assert "NMI vs ground truth" in out  # dblp has labels
+
+    def test_distributed_writes_partition(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edgelist(ring_of_cliques(4, 5).graph, path)
+        out_path = tmp_path / "part.tsv"
+        rc = main([
+            "cluster", "--input", str(path), "--method", "distributed",
+            "--ranks", "2", "-o", str(out_path),
+        ])
+        assert rc == 0
+        rows = [line.split("\t") for line in
+                out_path.read_text().strip().split("\n")]
+        assert len(rows) == 20
+        labels = np.array([int(r[1]) for r in rows])
+        assert np.unique(labels).size == 4  # cliques recovered
+
+    @pytest.mark.parametrize(
+        "method", ["louvain", "labelprop", "relaxmap", "gossipmap"]
+    )
+    def test_baseline_methods(self, method, capsys):
+        rc = main(["cluster", "--dataset", "amazon", "--scale", "0.3",
+                   "--method", method, "--ranks", "2"])
+        assert rc == 0
+        assert f"{method.replace('labelprop', 'label_propagation')}" in \
+            capsys.readouterr().out
+
+
+class TestPartition:
+    def test_partition_report(self, capsys):
+        rc = main(["partition", "--dataset", "uk2005", "--scale", "0.2",
+                   "--ranks", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delegate workload" in out
+        assert "ghost max improvement" in out
+
+    def test_custom_d_high(self, capsys):
+        rc = main(["partition", "--dataset", "uk2005", "--scale", "0.2",
+                   "--ranks", "8", "--d-high", "50"])
+        assert rc == 0
+        assert "d_high=50" in capsys.readouterr().out
+
+
+class TestBenchAndDatasets:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "uk2007" in out and "3.78B" in out
+
+    def test_bench_table1(self, capsys):
+        rc = main(["bench", "--experiment", "table1", "--scale", "0.25"])
+        assert rc == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_bench_fig6_with_ranks(self, capsys):
+        rc = main(["bench", "--experiment", "fig6", "--ranks", "8",
+                   "--scale", "0.2"])
+        assert rc == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_bench_fig7(self, capsys):
+        rc = main(["bench", "--experiment", "fig7", "--ranks", "8",
+                   "--scale", "0.2"])
+        assert rc == 0
+        assert "Figure 7" in capsys.readouterr().out

@@ -1,0 +1,208 @@
+"""Directed extension: DiGraph, PageRank flow, directed map equation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DirectedFlowNetwork,
+    DirectedModuleStats,
+    InfomapConfig,
+    directed_delta,
+    sequential_infomap_directed,
+)
+from repro.core.directed import _vertex_module_flows
+from repro.graph import digraph_from_edge_array, digraph_from_edges
+from repro.metrics import nmi
+
+
+def two_cycles(cross: float = 0.2):
+    """Two directed 4-cycles with weak cross links."""
+    edges = []
+    for base in (0, 4):
+        for i in range(4):
+            edges.append((base + i, base + (i + 1) % 4, 3.0))
+    edges += [(0, 4, cross), (6, 2, cross)]
+    return digraph_from_edges(edges)
+
+
+class TestDiGraph:
+    def test_structure(self):
+        g = digraph_from_edges([(0, 1), (1, 2), (2, 0)])
+        assert g.num_vertices == 3 and g.num_edges == 3
+        np.testing.assert_array_equal(g.successors(0), [1])
+        np.testing.assert_array_equal(g.out_degrees(), [1, 1, 1])
+        np.testing.assert_array_equal(g.in_degrees(), [1, 1, 1])
+
+    def test_parallel_edges_merge(self):
+        g = digraph_from_edges([(0, 1, 2.0), (0, 1, 3.0)])
+        assert g.num_edges == 1
+        assert g.successor_weights(0)[0] == pytest.approx(5.0)
+
+    def test_direction_matters(self):
+        g = digraph_from_edges([(0, 1), (1, 0)])
+        assert g.num_edges == 2  # unlike the undirected builder
+
+    def test_self_loops_kept(self):
+        g = digraph_from_edges([(0, 0, 1.0), (0, 1, 1.0)])
+        assert g.num_edges == 2
+
+    def test_reverse_csr_is_transpose(self):
+        g = digraph_from_edges([(0, 1), (0, 2), (1, 2)])
+        in_indptr, in_sources, _w = g.reverse_csr()
+        assert in_indptr.tolist() == [0, 0, 1, 3]
+        np.testing.assert_array_equal(np.sort(in_sources[1:3]), [0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            digraph_from_edge_array(np.array([0]), np.array([1]),
+                                    np.array([-1.0]))
+        with pytest.raises(ValueError):
+            digraph_from_edge_array(np.array([0]), np.array([5]),
+                                    num_vertices=2)
+
+
+class TestDirectedFlow:
+    def test_flow_sums(self):
+        net = DirectedFlowNetwork.from_digraph(two_cycles(), damping=0.85)
+        assert net.node_flow.sum() == pytest.approx(1.0)
+        # Recorded link flow totals the damping factor (teleport is
+        # unrecorded) up to dangling-node corrections (none here).
+        assert net.out_flow.sum() == pytest.approx(0.85)
+
+    def test_empty_rejected(self):
+        g = digraph_from_edge_array(np.empty(0, np.int64),
+                                    np.empty(0, np.int64), num_vertices=3)
+        with pytest.raises(ValueError):
+            DirectedFlowNetwork.from_digraph(g)
+
+    def test_coarsen_preserves_flow(self):
+        net = DirectedFlowNetwork.from_digraph(two_cycles())
+        coarse, inv = net.coarsen(np.array([0, 0, 0, 0, 1, 1, 1, 1]))
+        assert coarse.num_vertices == 2
+        assert coarse.node_flow.sum() == pytest.approx(1.0)
+        assert coarse.out_flow.sum() == pytest.approx(net.out_flow.sum())
+
+    def test_coarse_exits_match_fine_module_exits(self):
+        net = DirectedFlowNetwork.from_digraph(two_cycles())
+        membership = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        fine = DirectedModuleStats.from_membership(net, membership)
+        coarse, _ = net.coarsen(membership)
+        singles = DirectedModuleStats.from_membership(
+            coarse, np.arange(2), node_term=fine.node_term
+        )
+        np.testing.assert_allclose(singles.exit, fine.exit, atol=1e-12)
+        np.testing.assert_allclose(singles.sum_p, fine.sum_p, atol=1e-12)
+
+
+class TestDirectedDelta:
+    def test_delta_matches_recompute(self):
+        net = DirectedFlowNetwork.from_digraph(two_cycles())
+        rng = np.random.default_rng(0)
+        membership = rng.integers(0, 3, size=8).astype(np.int64)
+        stats = DirectedModuleStats.from_membership(net, membership)
+        for _ in range(40):
+            u = int(rng.integers(8))
+            cur = int(membership[u])
+            tgt = int(rng.integers(3))
+            if tgt == cur:
+                continue
+            outs, ins, x_out = _vertex_module_flows(net, membership, u)
+            pred = directed_delta(
+                stats, old=cur, new=tgt,
+                p_u=float(net.node_flow[u]), x_out=x_out,
+                out_old=outs.get(cur, 0.0), in_old=ins.get(cur, 0.0),
+                out_new=outs.get(tgt, 0.0), in_new=ins.get(tgt, 0.0),
+            )
+            trial = membership.copy()
+            trial[u] = tgt
+            actual = (
+                DirectedModuleStats.from_membership(
+                    net, trial, node_term=stats.node_term
+                ).codelength() - stats.codelength()
+            )
+            assert pred == pytest.approx(actual, abs=1e-10)
+
+    def test_apply_move_tracks_recompute(self):
+        net = DirectedFlowNetwork.from_digraph(two_cycles())
+        rng = np.random.default_rng(1)
+        membership = rng.integers(0, 4, size=8).astype(np.int64)
+        stats = DirectedModuleStats.from_membership(net, membership)
+        for _ in range(60):
+            u = int(rng.integers(8))
+            cur = int(membership[u])
+            tgt = int(rng.integers(4))
+            if tgt == cur:
+                continue
+            outs, ins, x_out = _vertex_module_flows(net, membership, u)
+            stats.apply_move(
+                old=cur, new=tgt,
+                p_u=float(net.node_flow[u]), x_out=x_out,
+                out_old=outs.get(cur, 0.0), in_old=ins.get(cur, 0.0),
+                out_new=outs.get(tgt, 0.0), in_new=ins.get(tgt, 0.0),
+            )
+            membership[u] = tgt
+        fresh = DirectedModuleStats.from_membership(
+            net, membership, node_term=stats.node_term
+        )
+        m = fresh.exit.size
+        np.testing.assert_allclose(fresh.exit, stats.exit[:m], atol=1e-12)
+        assert fresh.codelength() == pytest.approx(stats.codelength(),
+                                                   abs=1e-9)
+
+
+class TestDirectedOptimizer:
+    def test_recovers_directed_cycles(self):
+        res = sequential_infomap_directed(two_cycles())
+        assert res.num_modules == 2
+        assert nmi(res.membership,
+                   np.array([0] * 4 + [1] * 4)) == pytest.approx(1.0)
+
+    def test_symmetric_digraph_matches_undirected_partition(self):
+        """Symmetrizing an undirected clique graph must give the same
+        communities through the directed machinery."""
+        from repro.core import SequentialInfomap
+        from repro.graph import ring_of_cliques
+
+        lg = ring_of_cliques(5, 5)
+        src, dst, w = lg.graph.edge_array()
+        g = digraph_from_edge_array(
+            np.concatenate([src, dst]), np.concatenate([dst, src]),
+            np.concatenate([w, w]),
+        )
+        und = SequentialInfomap().run(lg.graph)
+        dire = sequential_infomap_directed(g, damping=0.999)
+        assert nmi(dire.membership, und.membership) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_deterministic(self):
+        g = two_cycles()
+        a = sequential_infomap_directed(g, InfomapConfig(seed=3))
+        b = sequential_infomap_directed(g, InfomapConfig(seed=3))
+        np.testing.assert_array_equal(a.membership, b.membership)
+
+    def test_codelength_decreases(self):
+        g = two_cycles()
+        res = sequential_infomap_directed(g)
+        traj = res.codelength_trajectory()
+        assert all(a >= b - 1e-9 for a, b in zip(traj, traj[1:]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_property_directed_random_graphs_converge(seed):
+    rng = np.random.default_rng(seed)
+    n, m = 40, 160
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    g = digraph_from_edge_array(src, dst, num_vertices=n)
+    if g.num_edges == 0:
+        return
+    res = sequential_infomap_directed(g, InfomapConfig(seed=seed))
+    assert res.converged
+    assert res.membership.size == n
+    net = DirectedFlowNetwork.from_digraph(g)
+    fresh = DirectedModuleStats.from_membership(net, res.membership)
+    assert fresh.codelength() == pytest.approx(res.codelength, abs=1e-9)

@@ -1,0 +1,195 @@
+"""Graph CSR structure, builder canonicalization, degree stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    degree_summary,
+    from_adjacency,
+    from_edge_array,
+    from_edges,
+    hub_edge_fraction,
+    hub_vertices,
+    powerlaw_mle,
+    relabel_compact,
+)
+
+
+def triangle() -> Graph:
+    return from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+class TestBuilder:
+    def test_triangle_structure(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.nnz == 6
+        g.validate()
+
+    def test_neighbors_sorted_views(self):
+        g = triangle()
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(1), [0, 2])
+
+    def test_duplicate_edges_sum_weights(self):
+        g = from_edges([(0, 1, 2.0), (1, 0, 3.0)])
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_duplicate_edges_first_policy(self):
+        g = from_edges([(0, 1, 2.0), (1, 0, 3.0)], dedup="first")
+        assert g.edge_weight(0, 1) == pytest.approx(2.0)
+
+    def test_duplicate_edges_error_policy(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 1), (1, 0)], dedup="error")
+
+    def test_self_loops_dropped_by_default(self):
+        g = from_edges([(0, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert g.num_self_loops == 0
+
+    def test_self_loops_kept_when_requested(self):
+        g = from_edges([(0, 0, 2.5), (0, 1, 1.0)], keep_self_loops=True)
+        assert g.num_self_loops == 1
+        assert g.num_edges == 2
+        assert g.total_weight == pytest.approx(3.5)
+        g.validate()
+
+    def test_isolated_trailing_vertices(self):
+        g = from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 5)], num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_array(np.array([-1]), np.array([0]))
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 1, 0.0)])
+        with pytest.raises(ValueError):
+            from_edges([(0, 1, -1.0)])
+
+    def test_nonfinite_weights_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 1, float("nan"))])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_array(np.array([0, 1]), np.array([1]))
+
+    def test_empty_graph(self):
+        g = from_edge_array(np.empty(0, np.int64), np.empty(0, np.int64),
+                            num_vertices=4)
+        assert g.num_vertices == 4 and g.num_edges == 0
+
+    def test_from_adjacency(self):
+        g = from_adjacency([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+        g.validate()
+
+    def test_relabel_compact(self):
+        src = np.array([10, 30, 10])
+        dst = np.array([30, 50, 50])
+        ns, nd, orig = relabel_compact(src, dst)
+        np.testing.assert_array_equal(orig, [10, 30, 50])
+        np.testing.assert_array_equal(ns, [0, 1, 0])
+        np.testing.assert_array_equal(nd, [1, 2, 2])
+
+
+class TestGraphQueries:
+    def test_total_weight_with_self_loop(self):
+        g = from_edges([(0, 1, 1.0), (1, 1, 4.0)], keep_self_loops=True)
+        assert g.total_weight == pytest.approx(5.0)
+
+    def test_weighted_degrees_conventions(self):
+        g = from_edges([(0, 1, 1.0), (1, 1, 4.0)], keep_self_loops=True)
+        np.testing.assert_allclose(
+            g.weighted_degrees(self_loop_factor=2.0), [1.0, 9.0]
+        )
+        np.testing.assert_allclose(
+            g.weighted_degrees(self_loop_factor=1.0), [1.0, 5.0]
+        )
+        np.testing.assert_allclose(
+            g.weighted_degrees(self_loop_factor=0.0), [1.0, 1.0]
+        )
+
+    def test_edges_yield_each_once(self):
+        g = triangle()
+        assert sorted(e[:2] for e in g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_matches_edges(self):
+        g = from_edges([(0, 1, 2.0), (2, 3, 4.0), (1, 2, 1.0)])
+        src, dst, w = g.edge_array()
+        assert list(zip(src.tolist(), dst.tolist(), w.tolist())) == sorted(
+            g.edges()
+        )
+
+    def test_has_edge_and_weight(self):
+        g = triangle()
+        assert g.has_edge(0, 1) and not g.has_edge(0, 0)
+        assert g.edge_weight(0, 1) == 1.0
+        assert g.edge_weight(0, 0) == 0.0
+
+    def test_is_weighted(self):
+        assert not triangle().is_weighted()
+        assert from_edges([(0, 1, 2.0)]).is_weighted()
+
+    def test_degrees_vectorized_matches_scalar(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3), (2, 3)])
+        degs = g.degrees()
+        assert [g.degree(u) for u in range(g.num_vertices)] == degs.tolist()
+
+    def test_validate_catches_asymmetry(self):
+        g = triangle()
+        bad = Graph(
+            indptr=g.indptr,
+            indices=g.indices.copy(),
+            weights=g.weights.copy(),
+        )
+        bad.weights[0] = 99.0  # only one direction changed
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestDegreeStats:
+    def test_hub_vertices_threshold(self):
+        g = from_edges([(0, i) for i in range(1, 8)] + [(1, 2)])
+        hubs = hub_vertices(g, 3)
+        np.testing.assert_array_equal(hubs, [0])
+        assert hub_vertices(g, 100).size == 0
+
+    def test_hub_edge_fraction(self):
+        g = from_edges([(0, i) for i in range(1, 8)])
+        frac = hub_edge_fraction(g, 3)
+        assert frac == pytest.approx(7 / 14)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            hub_vertices(triangle(), -1)
+
+    def test_powerlaw_mle_on_powerlaw(self):
+        from repro.graph import powerlaw_configuration
+
+        g = powerlaw_configuration(5000, exponent=2.5, seed=1)
+        alpha = powerlaw_mle(g, kmin=3)
+        assert 2.0 < alpha < 3.2
+
+    def test_degree_summary_fields(self):
+        s = degree_summary(triangle())
+        assert s.min_degree == s.max_degree == 2
+        assert s.mean_degree == pytest.approx(2.0)
+        assert s.gini == pytest.approx(0.0)
+        assert "n=3" in str(s)
+
+    def test_gini_increases_with_hubs(self):
+        from repro.graph import star
+
+        assert degree_summary(star(50)).gini > 0.4

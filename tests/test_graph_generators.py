@@ -1,0 +1,169 @@
+"""Generators: structure, reproducibility, parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    caveman,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid2d,
+    path_graph,
+    planted_partition,
+    powerlaw_configuration,
+    powerlaw_planted_partition,
+    ring_of_cliques,
+    star,
+)
+
+
+class TestDeterministicFixtures:
+    def test_star(self):
+        g = star(6)
+        assert g.num_vertices == 7 and g.num_edges == 6
+        assert g.degree(0) == 6
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert set(g.degrees().tolist()) == {2}
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_grid(self):
+        g = grid2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_ring_of_cliques_structure(self):
+        lg = ring_of_cliques(4, 5)
+        assert lg.graph.num_vertices == 20
+        # 4 * C(5,2) clique edges + 4 bridges
+        assert lg.graph.num_edges == 4 * 10 + 4
+        assert lg.num_communities == 4
+        lg.graph.validate()
+
+    @pytest.mark.parametrize("fn,args", [
+        (star, (0,)), (path_graph, (0,)), (cycle_graph, (2,)),
+        (complete_graph, (1,)), (grid2d, (0, 3)),
+        (ring_of_cliques, (1, 1)),
+    ])
+    def test_invalid_sizes_rejected(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+
+class TestRandomGenerators:
+    def test_ba_reproducible(self):
+        a = barabasi_albert(200, 3, seed=7)
+        b = barabasi_albert(200, 3, seed=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_ba_different_seeds_differ(self):
+        a = barabasi_albert(200, 3, seed=7)
+        b = barabasi_albert(200, 3, seed=8)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_ba_arrival_degree(self):
+        g = barabasi_albert(300, 4, seed=0)
+        # Every arriving vertex (id > m) attaches m distinct edges; the
+        # initial star's leaves may legitimately stay at degree 1.
+        assert g.degrees()[5:].min() >= 4
+
+    def test_ba_has_hubs(self):
+        g = barabasi_albert(2000, 2, seed=0)
+        assert g.degrees().max() > 30  # scale-free tail
+
+    def test_ba_invalid(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+    def test_powerlaw_configuration_exponent(self):
+        g = powerlaw_configuration(3000, exponent=2.2, seed=1)
+        from repro.graph import powerlaw_mle
+
+        assert 1.8 < powerlaw_mle(g, kmin=3) < 2.8
+
+    def test_powerlaw_invalid(self):
+        with pytest.raises(ValueError):
+            powerlaw_configuration(10, exponent=0.9)
+        with pytest.raises(ValueError):
+            powerlaw_configuration(10, min_degree=0)
+
+    def test_er_edge_count_near_expected(self):
+        g = erdos_renyi(200, 0.1, seed=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(g.num_edges - expected) < 0.15 * expected
+
+    def test_er_p_zero_and_validation(self):
+        assert erdos_renyi(50, 0.0).num_edges == 0
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_er_structure_valid(self):
+        erdos_renyi(100, 0.2, seed=5).validate()
+
+
+class TestPlantedGenerators:
+    def test_planted_partition_labels(self):
+        lg = planted_partition(4, 25, 0.4, 0.01, seed=2)
+        assert lg.graph.num_vertices == 100
+        assert lg.num_communities == 4
+        np.testing.assert_array_equal(np.bincount(lg.labels), [25] * 4)
+
+    def test_planted_partition_density_contrast(self):
+        lg = planted_partition(3, 40, 0.5, 0.02, seed=4)
+        labels = lg.labels
+        src, dst, _ = lg.graph.edge_array()
+        intra = (labels[src] == labels[dst]).sum()
+        assert intra > 0.6 * src.size  # intra edges dominate
+
+    def test_planted_partition_invalid(self):
+        with pytest.raises(ValueError):
+            planted_partition(0, 10, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition(2, 10, 0.1, 0.5)  # p_out > p_in
+
+    def test_lfr_sizes_sum_to_n(self):
+        lg = powerlaw_planted_partition(1000, 12, mu=0.3, seed=5)
+        assert lg.labels.size == 1000
+        assert lg.graph.num_vertices == 1000
+        assert lg.num_communities <= 12
+
+    def test_lfr_mixing_controls_intra_fraction(self):
+        lo = powerlaw_planted_partition(2000, 15, mu=0.1, seed=6)
+        hi = powerlaw_planted_partition(2000, 15, mu=0.6, seed=6)
+
+        def intra_frac(lg):
+            src, dst, _ = lg.graph.edge_array()
+            return (lg.labels[src] == lg.labels[dst]).mean()
+
+        assert intra_frac(lo) > intra_frac(hi) + 0.2
+
+    def test_lfr_invalid(self):
+        with pytest.raises(ValueError):
+            powerlaw_planted_partition(100, 5, mu=1.5)
+        with pytest.raises(ValueError):
+            powerlaw_planted_partition(100, 200)
+
+    def test_caveman_rewire(self):
+        clean = caveman(5, 6)
+        noisy = caveman(5, 6, rewire=0.3, seed=9)
+        assert clean.graph.num_edges >= noisy.graph.num_edges
+        noisy.graph.validate()
+
+    def test_params_recorded(self):
+        lg = powerlaw_planted_partition(500, 8, mu=0.25, seed=11)
+        assert lg.params["mu"] == 0.25
+        assert lg.params["seed"] == 11

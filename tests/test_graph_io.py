@@ -1,0 +1,153 @@
+"""Graph file IO round-trips and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edges,
+    powerlaw_planted_partition,
+    read_edgelist,
+    read_metis,
+    read_pajek,
+    write_edgelist,
+    write_metis,
+    write_pajek,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return from_edges([(0, 1, 2.5), (1, 2, 1.0), (0, 3, 0.75), (2, 3, 4.0)])
+
+
+@pytest.fixture
+def random_graph():
+    return powerlaw_planted_partition(300, 6, seed=2).graph
+
+
+def graphs_equal(a, b):
+    assert a.num_vertices == b.num_vertices
+    assert a.num_edges == b.num_edges
+    np.testing.assert_array_equal(a.indptr, b.indptr)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_allclose(a.weights, b.weights)
+
+
+class TestEdgelist:
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edgelist(weighted_graph, p)
+        graphs_equal(weighted_graph, read_edgelist(p))
+
+    def test_roundtrip_unweighted(self, random_graph, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edgelist(random_graph, p)
+        graphs_equal(random_graph, read_edgelist(p))
+
+    def test_gzip_transparent(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.txt.gz"
+        write_edgelist(weighted_graph, p)
+        graphs_equal(weighted_graph, read_edgelist(p))
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# header\n0 1\n\n# more\n1 2\n")
+        g = read_edgelist(p)
+        assert g.num_edges == 2
+
+    def test_relabel_returns_original_ids(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("100 200\n200 400\n")
+        g, orig = read_edgelist(p, relabel=True)
+        assert g.num_vertices == 3
+        np.testing.assert_array_equal(orig, [100, 200, 400])
+
+    def test_missing_weight_column_raises(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 2.0\n1 2\n")
+        with pytest.raises(ValueError):
+            read_edgelist(p)
+
+    def test_malformed_line_raises(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edgelist(p)
+
+    def test_force_unweighted_ignores_extra_column(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 9.0\n")
+        g = read_edgelist(p, weighted=False)
+        assert g.edge_weight(0, 1) == 1.0
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, random_graph, tmp_path):
+        p = tmp_path / "g.graph"
+        write_metis(random_graph, p)
+        graphs_equal(random_graph, read_metis(p))
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.graph"
+        write_metis(weighted_graph, p)
+        graphs_equal(weighted_graph, read_metis(p))
+
+    def test_self_loops_rejected_on_write(self, tmp_path):
+        g = from_edges([(0, 0, 1.0), (0, 1, 1.0)], keep_self_loops=True)
+        with pytest.raises(ValueError):
+            write_metis(g, tmp_path / "g.graph")
+
+    def test_header_mismatch_detected(self, tmp_path):
+        p = tmp_path / "g.graph"
+        p.write_text("3 5\n2\n1 3\n2\n")  # claims 5 edges, has 2
+        with pytest.raises(ValueError):
+            read_metis(p)
+
+    def test_vertex_weights_unsupported(self, tmp_path):
+        p = tmp_path / "g.graph"
+        p.write_text("2 1 11\n1 2\n1 1\n")
+        with pytest.raises(ValueError):
+            read_metis(p)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        p = tmp_path / "g.graph"
+        p.write_text("% c\n3 2\n2 3\n1\n1\n")
+        g = read_metis(p)
+        assert g.num_edges == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "g.graph"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            read_metis(p)
+
+
+class TestPajek:
+    def test_roundtrip(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.net"
+        write_pajek(weighted_graph, p)
+        graphs_equal(weighted_graph, read_pajek(p))
+
+    def test_missing_vertices_section(self, tmp_path):
+        p = tmp_path / "g.net"
+        p.write_text("*Edges\n1 2\n")
+        with pytest.raises(ValueError):
+            read_pajek(p)
+
+    def test_unweighted_edges_default_one(self, tmp_path):
+        p = tmp_path / "g.net"
+        p.write_text("*Vertices 2\n1 \"a\"\n2 \"b\"\n*Edges\n1 2\n")
+        g = read_pajek(p)
+        assert g.edge_weight(0, 1) == 1.0
+
+
+def test_cross_format_consistency(random_graph, tmp_path):
+    """The same graph through all three formats stays identical."""
+    p1 = tmp_path / "a.txt"
+    p2 = tmp_path / "b.graph"
+    p3 = tmp_path / "c.net"
+    write_edgelist(random_graph, p1)
+    write_metis(random_graph, p2)
+    write_pajek(random_graph, p3)
+    graphs_equal(read_edgelist(p1), read_metis(p2))
+    graphs_equal(read_metis(p2), read_pajek(p3))

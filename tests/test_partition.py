@@ -1,0 +1,176 @@
+"""Partitioning: 1D, delegates, ghosts, balance — the §3.3 invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    load_dataset,
+    powerlaw_configuration,
+    powerlaw_planted_partition,
+    ring_of_cliques,
+    star,
+)
+from repro.partition import (
+    OneDPartition,
+    block_owners,
+    compare_partitions,
+    delegate_partition,
+    ghost_counts_1d,
+    ghost_sets_1d,
+    round_robin_owners,
+)
+
+
+class TestOneD:
+    def test_round_robin_owner_formula(self):
+        own = round_robin_owners(10, 3)
+        np.testing.assert_array_equal(own, np.arange(10) % 3)
+
+    def test_block_contiguous(self):
+        own = block_owners(10, 3)
+        assert (np.diff(own) >= 0).all()
+        assert np.bincount(own, minlength=3).min() >= 3
+
+    def test_every_vertex_owned_once(self):
+        part = OneDPartition.round_robin(100, 7)
+        total = sum(part.local_vertices(r).size for r in range(7))
+        assert total == 100
+
+    def test_edges_per_rank_sums_to_nnz(self):
+        g = powerlaw_configuration(500, seed=1)
+        part = OneDPartition.round_robin(g, 4)
+        assert part.edges_per_rank(g).sum() == g.nnz
+
+    def test_owner_range_validated(self):
+        with pytest.raises(ValueError):
+            OneDPartition(owner=np.array([0, 5]), nranks=2)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            round_robin_owners(10, 0)
+
+
+class TestGhosts1D:
+    def test_ghosts_are_remote_neighbors(self):
+        lg = ring_of_cliques(4, 4)
+        owner = round_robin_owners(16, 2)
+        sets = ghost_sets_1d(lg.graph, owner, 2)
+        for r, gs in enumerate(sets):
+            assert (owner[gs] != r).all()
+
+    def test_no_ghosts_on_single_rank(self):
+        g = ring_of_cliques(3, 4).graph
+        counts = ghost_counts_1d(g, np.zeros(12, dtype=np.int64), 1)
+        assert counts.tolist() == [0]
+
+    def test_star_hub_is_everyones_ghost(self):
+        g = star(20)
+        owner = round_robin_owners(21, 4)
+        sets = ghost_sets_1d(g, owner, 4)
+        for r in range(1, 4):  # hub 0 lives on rank 0
+            assert 0 in sets[r]
+
+
+class TestDelegatePartition:
+    @pytest.fixture
+    def hubby(self):
+        return load_dataset("uk2005", seed=0, scale=0.5).graph
+
+    def test_entries_conserved(self, hubby):
+        dp = delegate_partition(hubby, 8)
+        assert dp.edges_per_rank().sum() == hubby.nnz
+
+    def test_low_degree_entries_stay_home(self, hubby):
+        delegate_partition(hubby, 8).validate()
+
+    def test_balance_within_one_of_ideal(self, hubby):
+        dp = delegate_partition(hubby, 8)
+        ideal = -(-hubby.nnz // 8)
+        assert dp.edges_per_rank().max() <= ideal + 1
+
+    def test_rebalance_off_is_worse_or_equal(self, hubby):
+        on = delegate_partition(hubby, 8, rebalance=True)
+        off = delegate_partition(hubby, 8, rebalance=False)
+        assert on.edges_per_rank().max() <= off.edges_per_rank().max()
+
+    def test_default_threshold_is_rank_count(self, hubby):
+        dp = delegate_partition(hubby, 16)
+        assert dp.d_high == 16
+        degs = hubby.degrees()
+        np.testing.assert_array_equal(dp.hub_ids,
+                                      np.flatnonzero(degs > 16))
+
+    def test_single_rank_no_hubs(self, hubby):
+        dp = delegate_partition(hubby, 1)
+        assert dp.num_hubs == 0
+        assert (dp.entry_rank == 0).all()
+
+    def test_ghosts_exclude_hubs(self, hubby):
+        dp = delegate_partition(hubby, 8)
+        hubset = set(dp.hub_ids.tolist())
+        for gs in dp.ghost_sets():
+            assert not hubset & set(gs.tolist())
+
+    def test_delegate_beats_1d_on_ghosts(self, hubby):
+        cmp = compare_partitions(hubby, 16)
+        assert cmp.ghosts_delegate.max < cmp.ghosts_1d.max
+        assert (cmp.workload_delegate.imbalance
+                <= cmp.workload_1d.imbalance + 1e-9)
+
+    def test_star_extreme_case(self):
+        g = star(100)
+        dp = delegate_partition(g, 4)
+        assert dp.num_hubs == 1
+        ideal = -(-g.nnz // 4)
+        assert dp.edges_per_rank().max() <= ideal + 1
+
+    def test_invalid_args(self):
+        g = star(10)
+        with pytest.raises(ValueError):
+            delegate_partition(g, 0)
+        with pytest.raises(ValueError):
+            delegate_partition(g, 2, d_high=0)
+
+    def test_comparison_report_fields(self, hubby):
+        cmp = compare_partitions(hubby, 8)
+        assert cmp.nranks == 8
+        assert cmp.workload_improvement() >= 1.0
+        assert "imbalance" in str(cmp.workload_1d)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    p=st.integers(1, 12),
+    dh=st.integers(2, 64),
+)
+def test_property_delegate_partition_invariants(seed, p, dh):
+    """Edge conservation + home-placement hold for any (p, d_high)."""
+    g = powerlaw_planted_partition(200, 6, seed=seed).graph
+    dp = delegate_partition(g, p, d_high=dh)
+    assert dp.edges_per_rank().sum() == g.nnz
+    dp.validate()
+    # Each ghost really is remote and non-hub.
+    for r, gs in enumerate(dp.ghost_sets()):
+        if gs.size:
+            assert (dp.owner[gs] != r).all()
+            assert not dp.is_hub[gs].any()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000), p=st.integers(2, 10))
+def test_property_rebalanced_within_one(seed, p):
+    g = powerlaw_configuration(300, exponent=2.1, seed=seed)
+    if g.nnz == 0:
+        return
+    dp = delegate_partition(g, p)
+    ideal = -(-g.nnz // p)
+    # Rebalancing may be limited by the movable (hub) edge supply; it
+    # must never exceed what 1D placement of low-degree rows forces.
+    low_load = np.zeros(p, dtype=np.int64)
+    rows = g._row_of_entry()
+    low = ~dp.is_hub[rows]
+    np.add.at(low_load, dp.owner[rows[low]], 1)
+    assert dp.edges_per_rank().max() <= max(ideal + 1, low_load.max())

@@ -1,0 +1,204 @@
+"""Collective operations: correctness against their definitions."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    AbortError,
+    CollectiveMismatchError,
+    SerialCommunicator,
+    resolve_op,
+    run_spmd,
+)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_allreduce_sum(p):
+    res = run_spmd(lambda c: c.allreduce(c.rank + 1), p)
+    assert res.results == [p * (p + 1) // 2] * p
+
+
+@pytest.mark.parametrize("op,expected", [("min", 0), ("max", 4), ("prod", 0)])
+def test_allreduce_named_ops(op, expected):
+    res = run_spmd(lambda c: c.allreduce(c.rank, op=op), 5)
+    assert res.results == [expected] * 5
+
+
+def test_allreduce_callable_op():
+    res = run_spmd(lambda c: c.allreduce([c.rank], op=lambda a, b: a + b), 3)
+    assert res.results == [[0, 1, 2]] * 3
+
+
+def test_allreduce_numpy_elementwise():
+    def prog(comm):
+        return comm.allreduce(np.array([comm.rank, 2 * comm.rank]))
+
+    res = run_spmd(prog, 4)
+    for out in res.results:
+        np.testing.assert_array_equal(out, [6, 12])
+
+
+@pytest.mark.parametrize("root", [0, 2])
+def test_bcast(root):
+    def prog(comm):
+        return comm.bcast("payload" if comm.rank == root else None, root=root)
+
+    res = run_spmd(prog, 3)
+    assert res.results == ["payload"] * 3
+
+
+def test_gather_only_root_receives():
+    def prog(comm):
+        return comm.gather(comm.rank ** 2, root=1)
+
+    res = run_spmd(prog, 4)
+    assert res.results[1] == [0, 1, 4, 9]
+    assert res.results[0] is None and res.results[2] is None
+
+
+def test_allgather():
+    res = run_spmd(lambda c: c.allgather(chr(ord("a") + c.rank)), 4)
+    assert res.results == [["a", "b", "c", "d"]] * 4
+
+
+def test_scatter():
+    def prog(comm):
+        objs = [i * 100 for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    res = run_spmd(prog, 4)
+    assert res.results == [0, 100, 200, 300]
+
+
+def test_scatter_wrong_length_raises():
+    def prog(comm):
+        objs = [1] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    with pytest.raises((ValueError, AbortError)):
+        run_spmd(prog, 3)
+
+
+def test_reduce_on_root_only():
+    def prog(comm):
+        return comm.reduce(comm.rank + 1, op="sum", root=2)
+
+    res = run_spmd(prog, 4)
+    assert res.results[2] == 10
+    assert res.results[0] is None
+
+
+def test_alltoall_personalized():
+    def prog(comm):
+        out = [f"{comm.rank}->{j}" for j in range(comm.size)]
+        return comm.alltoall(out)
+
+    res = run_spmd(prog, 3)
+    for i, got in enumerate(res.results):
+        assert got == [f"{j}->{i}" for j in range(3)]
+
+
+def test_alltoall_with_none_holes():
+    def prog(comm):
+        out = [None] * comm.size
+        out[(comm.rank + 1) % comm.size] = comm.rank
+        return comm.alltoall(out)
+
+    res = run_spmd(prog, 4)
+    for i, got in enumerate(res.results):
+        src = (i - 1) % 4
+        expected = [None] * 4
+        expected[src] = src
+        assert got == expected
+
+
+def test_exchange_sparse():
+    def prog(comm):
+        msgs = {}
+        if comm.rank == 0:
+            msgs = {1: "zero-to-one", 2: "zero-to-two"}
+        return comm.exchange(msgs)
+
+    res = run_spmd(prog, 3)
+    assert res.results[0] == {}
+    assert res.results[1] == {0: "zero-to-one"}
+    assert res.results[2] == {0: "zero-to-two"}
+
+
+def test_exchange_rejects_self_send():
+    def prog(comm):
+        return comm.exchange({comm.rank: "self"})
+
+    with pytest.raises((ValueError, AbortError)):
+        run_spmd(prog, 2)
+
+
+def test_barrier_many_iterations():
+    def prog(comm):
+        acc = 0
+        for i in range(25):
+            comm.barrier()
+            acc += i
+        return acc
+
+    res = run_spmd(prog, 4)
+    assert res.results == [sum(range(25))] * 4
+
+
+def test_collective_mismatch_detected():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.bcast("x", root=0)
+        else:
+            comm.allgather("y")
+
+    with pytest.raises((CollectiveMismatchError, AbortError)):
+        run_spmd(prog, 2)
+
+
+def test_error_in_one_rank_propagates():
+    def prog(comm):
+        if comm.rank == 1:
+            raise KeyError("rank 1 failed")
+        comm.barrier()
+        comm.allreduce(1)
+        return "ok"
+
+    with pytest.raises(KeyError):
+        run_spmd(prog, 4)
+
+
+def test_resolve_op_rejects_unknown():
+    with pytest.raises(ValueError):
+        resolve_op("xor-ish")
+
+
+def test_serial_collectives_identity():
+    c = SerialCommunicator()
+    assert c.bcast("v") == "v"
+    assert c.allgather(3) == [3]
+    assert c.allreduce(5) == 5
+    assert c.gather(1) == [1]
+    assert c.scatter([7]) == 7
+    assert c.reduce(9) == 9
+    assert c.alltoall(["z"]) == ["z"]
+    c.barrier()
+    assert c.stats.barrier_calls == 1
+
+
+def test_interleaved_collectives_and_p2p():
+    """Stress: mixed schedule must not deadlock or cross-match."""
+
+    def prog(comm):
+        total = 0
+        for i in range(10):
+            nxt = (comm.rank + 1) % comm.size
+            comm.send(i * comm.rank, nxt, tag=i)
+            total += comm.allreduce(1)
+            got = comm.recv(tag=i)
+            total += got
+            comm.barrier()
+        return total
+
+    res = run_spmd(prog, 4)
+    assert len(set(r is not None for r in res.results)) == 1

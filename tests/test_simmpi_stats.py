@@ -1,0 +1,144 @@
+"""Communication metering and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    CommLedger,
+    CostAccumulator,
+    MachineModel,
+    ledger_comm_time,
+    payload_nbytes,
+    run_spmd,
+)
+
+
+class TestPayloadNbytes:
+    def test_numpy_exact(self):
+        a = np.zeros(1000, dtype=np.float64)
+        assert payload_nbytes(a) == 8000 + 96
+
+    def test_bytes_exact(self):
+        assert payload_nbytes(b"x" * 123) == 123
+
+    def test_scalars(self):
+        assert payload_nbytes(None) == 1
+        assert payload_nbytes(True) == 1
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(1 + 2j) == 16
+
+    def test_containers_scale_with_contents(self):
+        small = payload_nbytes([1, 2, 3])
+        big = payload_nbytes(list(range(100)))
+        assert big > small
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_nbytes({"k": 1.0}) > payload_nbytes({})
+
+    def test_deterministic(self):
+        obj = {"a": [1, 2.0, "three"], "b": np.ones(4)}
+        assert payload_nbytes(obj) == payload_nbytes(obj)
+
+
+def test_ledger_counts_p2p_bytes():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(1000), 1)
+        elif comm.rank == 1:
+            comm.recv(source=0)
+        comm.barrier()
+        return None
+
+    res = run_spmd(prog, 2)
+    s0 = res.ledger.for_rank(0)
+    s1 = res.ledger.for_rank(1)
+    assert s0.p2p_messages_sent == 1
+    assert s0.p2p_bytes_sent > 8000  # pickled ndarray
+    assert s1.p2p_bytes_recv == s0.p2p_bytes_sent
+    assert s1.p2p_messages_sent == 0
+
+
+def test_phase_attribution():
+    def prog(comm):
+        comm.set_phase("alpha")
+        comm.send("x" * 100, (comm.rank + 1) % comm.size)
+        comm.recv()
+        comm.set_phase("beta")
+        comm.allreduce(1)
+        return None
+
+    res = run_spmd(prog, 2)
+    for s in res.ledger:
+        assert s.bytes_by_phase["alpha"] > 0
+        assert "beta" in s.bytes_by_phase or s.collective_calls > 0
+
+
+def test_ledger_aggregates():
+    def prog(comm):
+        comm.allgather(np.zeros(10 * (comm.rank + 1)))
+        return None
+
+    res = run_spmd(prog, 4)
+    led = res.ledger
+    assert led.total_bytes > 0
+    assert led.max_rank_bytes <= led.total_bytes
+    assert len(led.bytes_per_rank()) == 4
+    assert led.total_messages >= 4
+    snap = led.snapshot()
+    assert len(snap) == 4 and snap[0]["rank"] == 0
+
+
+def test_ledger_requires_positive_size():
+    with pytest.raises(ValueError):
+        CommLedger(0)
+
+
+class TestMachineModel:
+    def test_collective_latency_log_depth(self):
+        m = MachineModel(alpha=1.0, collective_tree=True)
+        assert m.collective_latency(8, 1) == pytest.approx(3.0)
+        assert m.collective_latency(1, 10) == 0.0
+
+    def test_collective_latency_linear(self):
+        m = MachineModel(alpha=1.0, collective_tree=False)
+        assert m.collective_latency(8, 1) == pytest.approx(7.0)
+
+    def test_p2p_time(self):
+        m = MachineModel(alpha=1e-6, beta=1e-9)
+        assert m.p2p_time(10, 1000) == pytest.approx(10e-6 + 1e-6)
+
+
+class TestCostAccumulator:
+    def test_max_over_ranks_is_critical_path(self):
+        acc = CostAccumulator(machine=MachineModel(c_work=1.0, alpha=0.0,
+                                                   beta=0.0))
+        acc.add_step("s", work_per_rank=[1.0, 5.0, 2.0], nranks=3)
+        assert acc.compute_s == pytest.approx(5.0)
+
+    def test_steps_accumulate_and_group_by_phase(self):
+        acc = CostAccumulator(machine=MachineModel(c_work=1.0, alpha=0.0,
+                                                   beta=0.0))
+        acc.add_step("a", work_per_rank=[1.0])
+        acc.add_step("b", work_per_rank=[2.0])
+        acc.add_step("a", work_per_rank=[3.0])
+        by = acc.by_phase()
+        assert by["a"] == pytest.approx(4.0)
+        assert by["b"] == pytest.approx(2.0)
+        assert acc.total_s == pytest.approx(6.0)
+
+    def test_merged(self):
+        a = CostAccumulator()
+        a.add_step("x", work_per_rank=[1.0])
+        b = CostAccumulator()
+        b.add_step("y", work_per_rank=[2.0])
+        assert len(a.merged(b).steps) == 2
+
+
+def test_ledger_comm_time_positive_after_traffic():
+    def prog(comm):
+        comm.allgather(np.zeros(100))
+        return None
+
+    res = run_spmd(prog, 4)
+    assert ledger_comm_time(res.ledger) > 0.0

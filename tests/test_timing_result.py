@@ -1,0 +1,150 @@
+"""PhaseTimer, LevelRecord/ClusteringResult, engine corner cases."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusteringResult,
+    LevelRecord,
+    PHASES,
+    PhaseTimer,
+)
+from repro.simmpi import DeadlockError, SerialCommunicator, run_spmd
+
+
+class TestPhaseTimer:
+    def test_accumulates_seconds(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            time.sleep(0.01)
+        with t.phase("a"):
+            time.sleep(0.01)
+        assert t.seconds["a"] >= 0.02
+
+    def test_no_nesting(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with t.phase("a"):
+                with t.phase("b"):
+                    pass
+
+    def test_reusable_after_exception(self):
+        t = PhaseTimer()
+        with pytest.raises(ValueError):
+            with t.phase("a"):
+                raise ValueError("boom")
+        with t.phase("b"):  # must not complain about an active phase
+            pass
+        assert "a" in t.seconds and "b" in t.seconds
+
+    def test_work_counters(self):
+        t = PhaseTimer()
+        t.add_work("x", 10)
+        t.add_work("x", 5)
+        assert t.work == {"x": 15}
+
+    def test_tags_communicator_phase(self):
+        comm = SerialCommunicator()
+        t = PhaseTimer(comm)
+        with t.phase("swap"):
+            assert comm.stats.phase == "swap"
+
+    def test_snapshot_is_copy(self):
+        t = PhaseTimer()
+        t.add_work("x", 1)
+        snap = t.snapshot()
+        t.add_work("x", 1)
+        assert snap["work"]["x"] == 1
+
+    def test_canonical_phases_exported(self):
+        assert len(PHASES) == 4
+        assert "find_best_module" in PHASES
+
+
+class TestLevelRecord:
+    def test_merge_rate(self):
+        rec = LevelRecord(0, 100, 25, 5.0, 4.0, 3, 80)
+        assert rec.merge_rate == pytest.approx(0.75)
+        assert rec.improvement == pytest.approx(1.0)
+
+    def test_merge_rate_empty(self):
+        rec = LevelRecord(0, 0, 0, 0.0, 0.0, 0, 0)
+        assert rec.merge_rate == 0.0
+
+
+class TestClusteringResult:
+    @pytest.fixture
+    def result(self):
+        return ClusteringResult(
+            membership=np.array([0, 0, 1, 1, 2]),
+            codelength=3.5,
+            levels=[
+                LevelRecord(0, 5, 3, 5.0, 4.0, 2, 4),
+                LevelRecord(1, 3, 3, 4.0, 3.5, 1, 0),
+            ],
+            method="test",
+            converged=True,
+        )
+
+    def test_counts(self, result):
+        assert result.num_modules == 3
+        assert result.num_vertices == 5
+
+    def test_module_sizes_descending(self, result):
+        np.testing.assert_array_equal(result.module_sizes(), [2, 2, 1])
+
+    def test_trajectories(self, result):
+        assert result.codelength_trajectory() == [4.0, 3.5]
+        assert result.merge_rates() == [pytest.approx(0.4), 0.0]
+
+    def test_summary_text(self, result):
+        s = result.summary()
+        assert "test:" in s and "3 modules" in s and "converged" in s
+
+
+class TestEngineCorners:
+    def test_copy_mode_none_shares_objects(self):
+        marker = object()
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(marker, 1)
+                comm.barrier()
+                return None
+            got = comm.recv(source=0)
+            comm.barrier()
+            return got is marker
+
+        res = run_spmd(prog, 2, copy_mode="none")
+        assert res.results[1] is True
+
+    def test_invalid_copy_mode(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 2, copy_mode="magic")
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 0)
+
+    def test_fn_kwargs_forwarded(self):
+        def prog(comm, a, b=0):
+            return a + b + comm.rank
+
+        res = run_spmd(prog, 3, fn_args=(10,), fn_kwargs={"b": 5})
+        assert res.results == [15, 16, 17]
+
+    def test_collective_barrier_timeout_is_deadlock(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return None  # never joins the barrier
+            comm.barrier()
+
+        with pytest.raises(DeadlockError):
+            run_spmd(prog, 2, op_timeout=0.3, timeout=5.0)
+
+    def test_spmd_result_accessors(self):
+        res = run_spmd(lambda c: c.rank * 2, 3)
+        assert res.nranks == 3
+        assert res.result(2) == 4
