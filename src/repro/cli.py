@@ -56,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--output", "-o", help="write 'vertex<TAB>module' here")
     pc.add_argument("--d-high", type=int, default=None,
                     help="delegate degree threshold (default: adaptive)")
+    pc.add_argument("--batch-size", type=int, default=None,
+                    help="move-kernel block size (0 = scalar sweep)")
 
     pp = sub.add_parser("partition", help="compare 1D vs delegate partitioning")
     add_graph_source(pp)
@@ -95,7 +97,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .metrics import nmi
 
     graph, labels = _load_graph(args)
-    cfg = InfomapConfig(seed=args.seed, d_high=args.d_high)
+    cfg_kwargs: dict = {"seed": args.seed, "d_high": args.d_high}
+    if args.batch_size is not None:
+        cfg_kwargs["batch_size"] = args.batch_size
+    cfg = InfomapConfig(**cfg_kwargs)
     if args.method == "sequential":
         result = sequential_infomap(graph, cfg)
     elif args.method == "distributed":

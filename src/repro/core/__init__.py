@@ -9,6 +9,15 @@ from .directed import (
 )
 from .distributed import DistributedInfomap, distributed_infomap
 from .flow import FlowNetwork, pagerank_flow
+from .kernels import (
+    BlockAggregates,
+    BlockScore,
+    aggregate_block_flows,
+    drift_guard_bound,
+    score_block,
+    score_block_stats,
+    score_block_table,
+)
 from .mapequation import (
     ModuleStats,
     codelength_terms,
@@ -30,6 +39,8 @@ from .timing import (
 )
 
 __all__ = [
+    "BlockAggregates",
+    "BlockScore",
     "ClusteringResult",
     "Contribution",
     "DirectedFlowNetwork",
@@ -51,14 +62,19 @@ __all__ = [
     "PHASE_SWAP_BOUNDARY",
     "PhaseTimer",
     "SequentialInfomap",
+    "aggregate_block_flows",
     "best_move",
     "cluster_level",
     "codelength_terms",
     "delta_codelength",
     "delta_from_values",
     "distributed_infomap",
+    "drift_guard_bound",
     "neighbor_module_flows",
     "pagerank_flow",
     "plogp",
+    "score_block",
+    "score_block_stats",
+    "score_block_table",
     "sequential_infomap",
 ]

@@ -92,6 +92,13 @@ class InfomapConfig:
             instead.  Set to 0 for absolute-threshold behaviour.
         max_rounds: cap on move/swap rounds inside one distributed
             level (safety net; convergence normally ends rounds).
+        batch_size: vertices scored per batched move-evaluation call
+            (see :mod:`repro.core.kernels`).  The batch path is
+            decision-equivalent to the scalar kernels by construction
+            (snapshot scoring + drift guard + scalar fallback), so this
+            only trades memory/locality against vectorization; ``0``
+            disables batching entirely (the legacy one-vertex-at-a-time
+            path, kept for ablations and equivalence tests).
     """
 
     threshold: float = 1e-8
@@ -113,6 +120,7 @@ class InfomapConfig:
     min_vertices_per_rank: int = 32
     round_threshold_rel: float = 1e-4
     max_rounds: int = 60
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if self.threshold < 0:
@@ -131,6 +139,11 @@ class InfomapConfig:
             raise ValueError("min_vertices_per_rank must be >= 1")
         if self.round_threshold_rel < 0:
             raise ValueError("round_threshold_rel must be >= 0")
+        if self.batch_size < 0:
+            raise ValueError(
+                f"batch_size must be >= 0 (0 = scalar path), "
+                f"got {self.batch_size}"
+            )
         if self.move_rule not in ("map_equation", "max_flow"):
             raise ValueError(
                 "move_rule must be 'map_equation' or 'max_flow', "

@@ -48,6 +48,7 @@ from ..simmpi.costmodel import MachineModel
 from ..simmpi.engine import run_spmd
 from .config import InfomapConfig
 from .flow import FlowNetwork
+from .kernels import drift_guard_bound, score_block_table
 from .mapequation import delta_from_values, plogp
 from .result import ClusteringResult, LevelRecord
 from .swap import Contribution, LocalModuleState
@@ -237,6 +238,97 @@ def _local_module_flows(
     return uniq.astype(np.int64), agg, float(flows.sum())
 
 
+# Stay-skip slack for the batched prefilter: the batch kernel computes
+# deltas with numpy plogp while _score_candidates uses math.log2 in a
+# different association order, so "provably stays" must survive a few
+# ulps of disagreement on top of the analytic drift bound.
+_BATCH_STAY_SLACK = 1e-12
+# Below this many active vertices the per-round table-snapshot build
+# costs more than the scalar loop it replaces.
+_BATCH_MIN_ACTIVE = 32
+
+
+def _batched_local_sweep(
+    state: LocalModuleState,
+    cfg: InfomapConfig,
+    boundary_mods: "set[int]",
+    act: np.ndarray,
+    id_space: int,
+    touched: np.ndarray,
+    moved_local: "list[int]",
+    changed_mods: "set[int]",
+) -> tuple[int, int]:
+    """Batched Find-Best-Module sweep over the active owned vertices.
+
+    Round-equivalent to the scalar loop: each chunk is scored in one
+    vectorized shot against a table snapshot taken at round start, and
+    vertices that *provably* stay put (margin beats the drift-guard
+    bound and none of their candidate modules was touched by an
+    earlier commit this round) are skipped outright — skipping a
+    stay-put vertex leaves the table, the move list and the changed
+    sets exactly as the scalar loop would.  Every potential mover goes
+    through the scalar ``_evaluate_move`` so the committed decision
+    sequence (and hence the dict table) is identical bitwise.  The
+    min-label rule only ever *removes* candidates, so batch-stay
+    implies scalar-stay and the prefilter is sound with it enabled.
+
+    Returns ``(local_moves, work)``; ``touched`` is scratch (cleared
+    before returning).
+    """
+    lg = state.lg
+    mi = cfg.min_improvement
+    snap = state.table_arrays()
+    s0 = state.sum_exit_global
+    moves = 0
+    work = 0
+    dirty: list[int] = []
+    bs = cfg.batch_size
+    for lo in range(0, act.size, bs):
+        chunk = act[lo : lo + bs]
+        work += int(np.sum(lg.indptr[chunk + 1] - lg.indptr[chunk]))
+        agg, score = score_block_table(state, snap, chunk,
+                                       id_space=id_space)
+        margins = score.best_delta + mi
+        if not dirty and bool((margins >= _BATCH_STAY_SLACK).all()):
+            continue  # whole chunk provably stays, no commits yet
+        for i in range(chunk.size):
+            li = int(chunk[i])
+            cur = int(agg.current[i])
+            if dirty:
+                a = int(agg.seg_ptr[i])
+                b = int(agg.seg_ptr[i + 1])
+                affected = bool(touched[cur]) or (
+                    a < b and bool(touched[agg.seg_mods[a:b]].any())
+                )
+                if not affected:
+                    s_now = state.sum_exit_global
+                    bound = drift_guard_bound(
+                        s_now - s0, float(agg.x_u[i]), s0, s_now
+                    )
+                    if float(margins[i]) >= bound + _BATCH_STAY_SLACK:
+                        continue
+            elif float(margins[i]) >= _BATCH_STAY_SLACK:
+                continue
+            dec = _evaluate_move(state, li, cfg, boundary_mods)
+            if dec is not None:
+                state.apply_local_move(
+                    dec.local_idx, dec.target,
+                    p_u=dec.p_u, x_u=dec.x_u,
+                    d_old=dec.d_old, d_new=dec.d_new,
+                )
+                moves += 1
+                moved_local.append(li)
+                changed_mods.add(dec.current)
+                changed_mods.add(dec.target)
+                touched[dec.current] = True
+                touched[dec.target] = True
+                dirty.append(dec.current)
+                dirty.append(dec.target)
+    if dirty:
+        touched[np.asarray(dirty, dtype=np.int64)] = False
+    return moves, work
+
+
 def _evaluate_move(
     state: LocalModuleState,
     li: int,
@@ -420,6 +512,12 @@ def _cluster_rounds(
 
     order = np.arange(lg.num_owned)
     active = np.ones(lg.num_owned, dtype=bool)
+    use_batch = cfg.batch_size > 0 and cfg.move_rule == "map_equation"
+    # Scratch module-touched flags for the batched sweep, allocated
+    # once per level (cleared by the sweep itself).
+    batch_touched = (
+        np.zeros(id_space, dtype=bool) if use_batch else None
+    )
     total_moves_all = 0
     rounds = 0
     best_l = history[0]
@@ -435,22 +533,27 @@ def _cluster_rounds(
         changed_mods: set[int] = set()
         with timer.phase(PHASE_FIND_BEST):
             bmods = state.boundary_modules() if cfg.min_label else set()
-            for li in order:
-                li = int(li)
-                if not active[li]:
-                    continue
-                work += int(lg.indptr[li + 1] - lg.indptr[li])
-                dec = _evaluate_move(state, li, cfg, bmods)
-                if dec is not None:
-                    state.apply_local_move(
-                        dec.local_idx, dec.target,
-                        p_u=dec.p_u, x_u=dec.x_u,
-                        d_old=dec.d_old, d_new=dec.d_new,
-                    )
-                    local_moves += 1
-                    moved_local.append(li)
-                    changed_mods.add(dec.current)
-                    changed_mods.add(dec.target)
+            act = order[active[order]]
+            if use_batch and act.size >= _BATCH_MIN_ACTIVE:
+                local_moves, work = _batched_local_sweep(
+                    state, cfg, bmods, act, id_space, batch_touched,
+                    moved_local, changed_mods,
+                )
+            else:
+                for li in act:
+                    li = int(li)
+                    work += int(lg.indptr[li + 1] - lg.indptr[li])
+                    dec = _evaluate_move(state, li, cfg, bmods)
+                    if dec is not None:
+                        state.apply_local_move(
+                            dec.local_idx, dec.target,
+                            p_u=dec.p_u, x_u=dec.x_u,
+                            d_old=dec.d_old, d_new=dec.d_new,
+                        )
+                        local_moves += 1
+                        moved_local.append(li)
+                        changed_mods.add(dec.current)
+                        changed_mods.add(dec.target)
             timer.add_work(PHASE_FIND_BEST, work)
 
         # -- Broadcast Delegates: consensus moves for hubs -----------------

@@ -69,6 +69,7 @@ class FlowNetwork:
             indices=graph.indices,
             weights=graph.weights / (2.0 * W),
             num_self_loops=graph.num_self_loops,
+            sorted_rows=graph.sorted_rows,
         )
         return cls(graph=flow_graph, node_flow=node_flow)
 

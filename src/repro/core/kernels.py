@@ -1,0 +1,326 @@
+"""Batched move evaluation: score a whole block of vertices at once.
+
+The scalar kernels (:func:`repro.core.moves.best_move` and the
+distributed ``_evaluate_move``) pay ~8 tiny numpy calls *per vertex*,
+so interpreter overhead — not arithmetic — dominates greedy sweeps.
+This module evaluates every candidate move of a whole block of vertices
+in O(1) numpy calls:
+
+1. gather the block's CSR adjacency slices in one shot
+   (:func:`repro.graph.graph.gather_rows`),
+2. key every non-self entry by ``(vertex, neighbour_module)`` packed
+   into one int64 (``owner * id_space + module``),
+3. segment-reduce link flows over the keys, and
+4. evaluate ΔL for all candidates of all vertices in a single
+   vectorized :func:`repro.core.mapequation.delta_from_values` call.
+
+Exactness contract
+------------------
+
+The sequential consumer commits batch decisions directly, so the batch
+numbers must be **bitwise identical** to the scalar path's, not merely
+close.  Two empirically-verified numpy facts make that possible:
+
+* ``np.bincount(inv, weights=w)`` accumulates each bin's partial sum
+  sequentially in entry order (it matches a Python ``+=`` loop to the
+  last bit), whereas ``np.add.reduceat`` and ``ndarray.sum()`` use
+  pairwise summation and do **not**.  The batch segment reduction
+  therefore uses ``np.unique(key, return_inverse=True)`` +
+  ``np.bincount`` — the same primitive pair as the scalar
+  ``neighbor_module_flows`` — and since a stable key sort preserves the
+  relative (CSR) order of each ``(vertex, module)`` group's entries,
+  every aggregated flow is bitwise equal to its scalar counterpart.
+* ``delta_from_values`` is purely elementwise (no reductions), so
+  feeding it bitwise-equal inputs yields bitwise-equal deltas.
+
+Per-vertex totals ``x_u`` are summed over the *aggregated* per-module
+flows in ascending-module order (one more ``bincount``); the scalar
+``neighbor_module_flows`` sums in the same order, keeping the committed
+``apply_move`` arguments bitwise identical between paths.
+
+Snapshot semantics and the drift guard
+--------------------------------------
+
+A block is scored against module aggregates frozen at block start.
+Commits earlier in the same block (or round) invalidate a later
+vertex's score in exactly two ways:
+
+* a module in the vertex's candidate set (its neighbour modules or its
+  current module) changed aggregates — detected exactly through the
+  ``touched`` module set, because a moved neighbour's *old* module
+  necessarily appears in the vertex's snapshot candidate set;
+* the global ``sum_exit`` drifted.  ΔL depends on ``sum_exit`` only
+  through ``plogp(S + c) − plogp(S)`` with ``|c| ≤ 2·x_u``, whose
+  derivative magnitude is ``|log2(1 + c/S)| ≤ 4·x_u/(S_min·ln 2)``
+  once ``S_min ≥ 4·x_u``, giving the bound returned by
+  :func:`drift_guard_bound`.  Decisions whose margin beats the bound
+  (plus a float-noise slack when the two paths round differently) are
+  provably identical to a fresh scalar evaluation; everything else
+  falls back to the scalar kernel.
+
+At zero drift with no touched module the bound is exactly 0 and the
+decisions are bitwise-identical by construction — that is the case the
+property tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mapequation import delta_from_values
+
+__all__ = [
+    "BlockAggregates",
+    "BlockScore",
+    "aggregate_block_flows",
+    "score_block",
+    "score_block_stats",
+    "score_block_table",
+    "drift_guard_bound",
+]
+
+_LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class BlockAggregates:
+    """Per-(vertex, neighbour-module) link flows for a block.
+
+    ``seg_mods[seg_ptr[i]:seg_ptr[i+1]]`` are vertex ``block[i]``'s
+    neighbouring module ids in ascending order, with ``seg_flows`` the
+    vertex's link flow into each — the batched equivalent of one
+    ``neighbor_module_flows`` call per vertex.
+    """
+
+    block: np.ndarray  # int64[B] vertex (or local) ids
+    current: np.ndarray  # int64[B] current module per vertex
+    p_u: np.ndarray  # float64[B] visit probabilities
+    x_u: np.ndarray  # float64[B] total non-self link flow
+    d_old: np.ndarray  # float64[B] flow into the current module
+    seg_ptr: np.ndarray  # int64[B+1] per-vertex segment offsets
+    seg_owner: np.ndarray  # int64[S] block position of each segment
+    seg_mods: np.ndarray  # int64[S] neighbouring module ids (ascending)
+    seg_flows: np.ndarray  # float64[S] aggregated link flows
+
+
+@dataclass(frozen=True)
+class BlockScore:
+    """Best/runner-up move of every vertex in a scored block.
+
+    ``best_delta`` is ``+inf`` for vertices with no candidate target
+    (then ``best_target == current``).  ``runner_gap`` is the delta gap
+    to the second-best candidate (``+inf`` when there is none) — the
+    quantity the drift guard needs to certify that the argmin cannot
+    have flipped.
+    """
+
+    best_target: np.ndarray  # int64[B]
+    best_delta: np.ndarray  # float64[B]
+    best_d_new: np.ndarray  # float64[B]
+    runner_gap: np.ndarray  # float64[B]
+
+
+def aggregate_block_flows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    flows: np.ndarray,
+    block: np.ndarray,
+    module_of: np.ndarray,
+    node_flow: np.ndarray,
+    *,
+    id_space: int,
+) -> BlockAggregates:
+    """Stage 1+2+3 of the batch kernel: gather, key, segment-reduce.
+
+    Args:
+        indptr, indices, flows: the CSR arrays (``Graph`` or
+            ``LocalGraph`` layout — any index namespace works as long
+            as ``module_of``/``block`` share it).
+        block: ``int64[B]`` distinct row ids to score.
+        module_of: module id per *index value* (so ``module_of[nbr]``
+            and ``module_of[block]`` are valid).
+        node_flow: visit probability per row id.
+        id_space: exclusive upper bound on module ids, used to pack
+            ``(vertex, module)`` into one int64 key.
+    """
+    from ..graph.graph import gather_rows
+
+    block = np.asarray(block, dtype=np.int64)
+    b = block.size
+    entries, owner = gather_rows(indptr, block)
+    nbrs = indices[entries]
+    flws = flows[entries]
+    nonself = nbrs != block[owner]
+    if not bool(nonself.all()):
+        owner = owner[nonself]
+        nbrs = nbrs[nonself]
+        flws = flws[nonself]
+    current = module_of[block]
+    p_u = node_flow[block].astype(np.float64, copy=True)
+
+    if owner.size == 0:
+        return BlockAggregates(
+            block=block, current=current, p_u=p_u,
+            x_u=np.zeros(b), d_old=np.zeros(b),
+            seg_ptr=np.zeros(b + 1, dtype=np.int64),
+            seg_owner=np.empty(0, np.int64),
+            seg_mods=np.empty(0, np.int64),
+            seg_flows=np.empty(0),
+        )
+
+    key = owner * np.int64(id_space) + module_of[nbrs]
+    uniq, inv = np.unique(key, return_inverse=True)
+    # bincount accumulates each key's partial sum in original (CSR)
+    # entry order — the bitwise-exactness requirement (module docs).
+    seg_flows = np.bincount(inv, weights=flws, minlength=uniq.size)
+    seg_owner = uniq // np.int64(id_space)
+    seg_mods = uniq - seg_owner * np.int64(id_space)
+    seg_ptr = np.searchsorted(seg_owner, np.arange(b + 1, dtype=np.int64))
+    x_u = np.bincount(seg_owner, weights=seg_flows, minlength=b)
+
+    dkey = np.arange(b, dtype=np.int64) * np.int64(id_space) + current
+    pos = np.searchsorted(uniq, dkey)
+    pos_c = np.minimum(pos, uniq.size - 1)
+    d_old = np.where(uniq[pos_c] == dkey, seg_flows[pos_c], 0.0)
+
+    return BlockAggregates(
+        block=block, current=current, p_u=p_u, x_u=x_u, d_old=d_old,
+        seg_ptr=seg_ptr, seg_owner=seg_owner, seg_mods=seg_mods,
+        seg_flows=seg_flows,
+    )
+
+
+def score_block(
+    agg: BlockAggregates,
+    *,
+    q_seg: np.ndarray,
+    p_seg: np.ndarray,
+    q_old: np.ndarray,
+    p_old: np.ndarray,
+    sum_exit: float,
+) -> BlockScore:
+    """Stage 4: one ΔL evaluation over every candidate of every vertex.
+
+    Args:
+        q_seg, p_seg: exit flow / visit mass of ``agg.seg_mods`` (the
+            caller resolves them — dense ``ModuleStats`` arrays for the
+            sequential path, a sorted table snapshot for the
+            distributed one).
+        q_old, p_old: the same aggregates for each vertex's current
+            module (``float64[B]``).
+        sum_exit: global Σq at snapshot time.
+    """
+    b = agg.block.size
+    best_target = agg.current.copy()
+    best_delta = np.full(b, np.inf)
+    best_d_new = agg.d_old.copy()
+    runner_gap = np.full(b, np.inf)
+
+    cand = agg.seg_mods != agg.current[agg.seg_owner]
+    if not bool(cand.any()):
+        return BlockScore(best_target, best_delta, best_d_new, runner_gap)
+
+    cown = agg.seg_owner[cand]
+    cmods = agg.seg_mods[cand]
+    cflow = agg.seg_flows[cand]
+    deltas = delta_from_values(
+        sum_exit=sum_exit,
+        q_old=q_old[cown],
+        p_old=p_old[cown],
+        q_new=q_seg[cand],
+        p_new=p_seg[cand],
+        p_u=agg.p_u[cown],
+        x_u=agg.x_u[cown],
+        d_old=agg.d_old[cown],
+        d_new=cflow,
+    )
+    deltas = np.asarray(deltas)
+
+    cptr = np.searchsorted(cown, np.arange(b + 1, dtype=np.int64))
+    counts = np.diff(cptr)
+    nz = np.flatnonzero(counts > 0)
+    starts = cptr[nz]
+    # reduceat is safe here: min is exactly associative, unlike +.
+    mins = np.minimum.reduceat(deltas, starts)
+    best_delta[nz] = mins
+    # First candidate achieving the per-vertex min — candidates ascend
+    # by module id inside each segment, so this reproduces the scalar
+    # argmin-first tie-break exactly.
+    c = deltas.size
+    idx = np.where(deltas == np.repeat(mins, counts[nz]), np.arange(c), c)
+    first = np.minimum.reduceat(idx, starts)
+    best_target[nz] = cmods[first]
+    best_d_new[nz] = cflow[first]
+    masked = deltas.copy()
+    masked[first] = np.inf
+    runner_gap[nz] = np.minimum.reduceat(masked, starts) - mins
+    return BlockScore(best_target, best_delta, best_d_new, runner_gap)
+
+
+def score_block_stats(
+    network,
+    membership: np.ndarray,
+    stats,
+    block: np.ndarray,
+) -> tuple[BlockAggregates, BlockScore]:
+    """Sequential-path wrapper: score *block* against live ModuleStats."""
+    g = network.graph
+    agg = aggregate_block_flows(
+        g.indptr, g.indices, g.weights, block, membership,
+        network.node_flow, id_space=g.num_vertices,
+    )
+    score = score_block(
+        agg,
+        q_seg=stats.exit[agg.seg_mods],
+        p_seg=stats.sum_p[agg.seg_mods],
+        q_old=stats.exit[agg.current],
+        p_old=stats.sum_p[agg.current],
+        sum_exit=stats.sum_exit,
+    )
+    return agg, score
+
+
+def score_block_table(
+    state,
+    table,
+    block: np.ndarray,
+    *,
+    id_space: int,
+) -> tuple[BlockAggregates, BlockScore]:
+    """Distributed-path wrapper: score owned vertices against a
+    :class:`repro.core.swap.TableArrays` snapshot."""
+    lg = state.lg
+    agg = aggregate_block_flows(
+        lg.indptr, lg.nbr, lg.nbr_flow, block, state.module_of, lg.flow,
+        id_space=id_space,
+    )
+    q_seg, p_seg = table.lookup(agg.seg_mods)
+    q_old, p_old = table.lookup(agg.current)
+    score = score_block(
+        agg, q_seg=q_seg, p_seg=p_seg, q_old=q_old, p_old=p_old,
+        sum_exit=state.sum_exit_global,
+    )
+    return agg, score
+
+
+def drift_guard_bound(
+    drift: float, x_u: float, s0: float, s_now: float
+) -> float:
+    """Upper bound on |ΔL(S_now) − ΔL(S0)| for one vertex's candidates.
+
+    ΔL depends on the global exit sum S only through
+    ``plogp(S + c) − plogp(S)`` with ``|c| ≤ 2·x_u``; over
+    ``S ≥ S_min ≥ 4·x_u`` the integrand ``|log2(1 + c/S)|`` is at most
+    ``4·x_u/(S_min·ln 2)``.  Returns ``inf`` (always fall back) when
+    the precondition fails; returns exactly ``0.0`` at zero drift so
+    the guard degenerates to bitwise-identical decisions.
+    """
+    if drift == 0.0:
+        return 0.0
+    s_min = min(s0, s_now)
+    if s_min <= 4.0 * x_u:
+        return math.inf
+    return abs(drift) * 4.0 * x_u / (s_min * _LN2)

@@ -167,6 +167,16 @@ class ModuleStats:
         """
         if old == new:
             return
+        if new >= self.sum_p.size:
+            # from_membership sizes slots by max(membership)+1, but a
+            # caller may legally move into a so-far-unused higher id
+            # (e.g. a module that emptied out of the initial labelling).
+            grow = new + 1 - self.sum_p.size
+            self.sum_p = np.concatenate([self.sum_p, np.zeros(grow)])
+            self.exit = np.concatenate([self.exit, np.zeros(grow)])
+            self.members = np.concatenate(
+                [self.members, np.zeros(grow, dtype=np.int64)]
+            )
         q_old_new = self.exit[old] - x_u + 2.0 * d_old
         q_new_new = self.exit[new] + x_u - 2.0 * d_new
         self.sum_exit += (q_old_new - self.exit[old]) + (q_new_new - self.exit[new])

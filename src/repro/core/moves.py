@@ -61,12 +61,18 @@ def neighbor_module_flows(
     if not nonself.all():
         nbrs = nbrs[nonself]
         wts = wts[nonself]
-    x_u = float(wts.sum())
     if nbrs.size == 0:
         return np.empty(0, np.int64), np.empty(0), 0.0
     mods = membership[nbrs]
     uniq, inv = np.unique(mods, return_inverse=True)
     flows = np.bincount(inv, weights=wts, minlength=uniq.size)
+    # x_u is summed over the *aggregated* per-module flows in ascending
+    # module order — the order the batch kernel's bincount total uses —
+    # so both paths feed bitwise-identical arguments to apply_move
+    # (kernels.py relies on this; pairwise wts.sum() would not match).
+    x_u = 0.0
+    for f in flows.tolist():
+        x_u += f
     return uniq.astype(np.int64), flows, x_u
 
 

@@ -20,11 +20,141 @@ import numpy as np
 from ..graph.graph import Graph
 from .config import InfomapConfig
 from .flow import FlowNetwork
+from .kernels import drift_guard_bound, score_block_stats
 from .mapequation import ModuleStats
 from .moves import best_move
 from .result import ClusteringResult, LevelRecord
 
 __all__ = ["SequentialInfomap", "cluster_level", "sequential_infomap"]
+
+# Float-noise slack added to the drift guard once sum_exit has drifted:
+# the batch delta was rounded at S0, the hypothetical scalar one at
+# S_now, so the analytic bound must absorb a few ulps of plogp noise.
+# At zero drift the guard is exactly 0 and decisions are bitwise-equal.
+_SEQ_GUARD_SLACK = 1e-13
+
+
+def _sweep_scalar(
+    network: FlowNetwork,
+    membership: np.ndarray,
+    stats: ModuleStats,
+    order: np.ndarray,
+    config: InfomapConfig,
+) -> int:
+    """Legacy one-vertex-at-a-time sweep (``batch_size=0``)."""
+    moved = 0
+    for u in order:
+        prop = best_move(
+            network, membership, stats, int(u),
+            min_improvement=config.min_improvement,
+        )
+        if prop.is_move:
+            stats.apply_move(
+                old=prop.current, new=prop.target,
+                p_u=prop.p_u, x_u=prop.x_u,
+                d_old=prop.d_old, d_new=prop.d_new,
+            )
+            membership[u] = prop.target
+            moved += 1
+    return moved
+
+
+def _sweep_batched(
+    network: FlowNetwork,
+    membership: np.ndarray,
+    stats: ModuleStats,
+    order: np.ndarray,
+    config: InfomapConfig,
+) -> int:
+    """Batched sweep with exact serial semantics (see kernels.py docs).
+
+    Each block is scored against the live stats in one vectorized
+    shot; vertices whose decision is provably unaffected by commits
+    earlier in the block skip the scalar path entirely (robust stays)
+    or commit the batch decision directly (robust moves, with
+    bitwise-identical apply_move arguments).  Everything inside the
+    drift-guard margin falls back to the scalar ``best_move``, so the
+    sweep's committed move sequence is identical to the scalar sweep's.
+    """
+    mi = config.min_improvement
+    bs = config.batch_size
+    n = network.graph.num_vertices
+    moved = 0
+    touched = np.zeros(n, dtype=bool)
+    for lo in range(0, order.size, bs):
+        block = order[lo : lo + bs]
+        agg, score = score_block_stats(network, membership, stats, block)
+        stay = score.best_delta >= -mi
+        if bool(stay.all()):
+            # No commits => no drift: every stay decision is
+            # bitwise-identical to what the scalar path would do.
+            continue
+        s0 = stats.sum_exit
+        dirty: list[int] = []
+
+        def commit(i: int, u: int, cur: int) -> None:
+            nonlocal moved
+            tgt = int(score.best_target[i])
+            stats.apply_move(
+                old=cur, new=tgt,
+                p_u=float(agg.p_u[i]), x_u=float(agg.x_u[i]),
+                d_old=float(agg.d_old[i]),
+                d_new=float(score.best_d_new[i]),
+            )
+            membership[u] = tgt
+            moved += 1
+            touched[cur] = True
+            touched[tgt] = True
+            dirty.append(cur)
+            dirty.append(tgt)
+
+        for i in range(block.size):
+            u = int(block[i])
+            cur = int(agg.current[i])
+            if not dirty:
+                # Snapshot still live: batch decision == scalar
+                # decision bitwise.
+                if bool(stay[i]):
+                    continue
+                commit(i, u, cur)
+                continue
+            a = int(agg.seg_ptr[i])
+            b = int(agg.seg_ptr[i + 1])
+            affected = bool(touched[cur]) or (
+                a < b and bool(touched[agg.seg_mods[a:b]].any())
+            )
+            if not affected:
+                s_now = stats.sum_exit
+                bound = drift_guard_bound(
+                    s_now - s0, float(agg.x_u[i]), s0, s_now
+                )
+                if bound > 0.0:
+                    bound += _SEQ_GUARD_SLACK
+                margin = float(score.best_delta[i]) + mi
+                if margin >= bound:
+                    continue  # provably stays under live stats
+                if margin <= -bound and (
+                    float(score.runner_gap[i]) >= 2.0 * bound
+                ):
+                    commit(i, u, cur)
+                    continue
+            prop = best_move(network, membership, stats, u,
+                             min_improvement=mi)
+            if prop.is_move:
+                stats.apply_move(
+                    old=prop.current, new=prop.target,
+                    p_u=prop.p_u, x_u=prop.x_u,
+                    d_old=prop.d_old, d_new=prop.d_new,
+                )
+                membership[u] = prop.target
+                moved += 1
+                touched[prop.current] = True
+                touched[prop.target] = True
+                dirty.append(prop.current)
+                dirty.append(prop.target)
+        if dirty:
+            touched[np.asarray(dirty, dtype=np.int64)] = False
+    return moved
 
 
 def cluster_level(
@@ -33,6 +163,7 @@ def cluster_level(
     rng: np.random.Generator,
     *,
     node_term: float | None = None,
+    initial_stats: ModuleStats | None = None,
 ) -> tuple[np.ndarray, ModuleStats, int, int]:
     """One level of greedy clustering: Lines 7–23 of Algorithm 1.
 
@@ -42,6 +173,10 @@ def cluster_level(
     Args:
         node_term: level-0 ``−Σ plogp(p_α)`` to thread through coarse
             levels (see :meth:`ModuleStats.from_membership`).
+        initial_stats: optional precomputed singleton-membership stats
+            for *network* (they are **mutated in place**); callers that
+            already built them to read the pre-clustering codelength
+            pass them here to skip a duplicate O(n+m) recomputation.
 
     Returns:
         ``(membership, stats, sweeps, total_moves)`` where membership
@@ -49,7 +184,13 @@ def cluster_level(
     """
     n = network.graph.num_vertices
     membership = np.arange(n, dtype=np.int64)
-    stats = ModuleStats.from_membership(network, membership, node_term=node_term)
+    stats = (
+        initial_stats
+        if initial_stats is not None
+        else ModuleStats.from_membership(
+            network, membership, node_term=node_term
+        )
+    )
 
     order = np.arange(n)
     total_moves = 0
@@ -57,20 +198,10 @@ def cluster_level(
     for sweeps in range(1, config.max_sweeps + 1):
         if config.shuffle:
             rng.shuffle(order)
-        moved = 0
-        for u in order:
-            prop = best_move(
-                network, membership, stats, int(u),
-                min_improvement=config.min_improvement,
-            )
-            if prop.is_move:
-                stats.apply_move(
-                    old=prop.current, new=prop.target,
-                    p_u=prop.p_u, x_u=prop.x_u,
-                    d_old=prop.d_old, d_new=prop.d_new,
-                )
-                membership[u] = prop.target
-                moved += 1
+        if config.batch_size > 0:
+            moved = _sweep_batched(network, membership, stats, order, config)
+        else:
+            moved = _sweep_scalar(network, membership, stats, order, config)
         total_moves += moved
         if moved == 0:
             break
@@ -98,19 +229,23 @@ def sequential_infomap(
     from .mapequation import plogp
 
     node_term0 = -float(plogp(network.node_flow).sum())
-    final_codelength = ModuleStats.from_membership(
-        network, np.arange(n0, dtype=np.int64), node_term=node_term0
-    ).codelength()
+    final_codelength = 0.0
 
     for level in range(cfg.max_levels):
         n = network.graph.num_vertices
+        # One singleton-stats build per level: read the pre-clustering
+        # codelength from it, then hand it to cluster_level (which
+        # mutates it) instead of recomputing the same O(n+m) pass.
         initial_stats = ModuleStats.from_membership(
             network, np.arange(n, dtype=np.int64), node_term=node_term0
         )
         l_before = initial_stats.codelength()
+        if level == 0:
+            final_codelength = l_before
 
         membership, stats, sweeps, moves = cluster_level(
-            network, cfg, rng, node_term=node_term0
+            network, cfg, rng, node_term=node_term0,
+            initial_stats=initial_stats,
         )
         l_after = stats.codelength()
 

@@ -30,7 +30,37 @@ import numpy as np
 
 from ..partition.distgraph import LocalGraph
 
-__all__ = ["ModuleInfo", "Contribution", "LocalModuleState"]
+__all__ = ["ModuleInfo", "Contribution", "LocalModuleState", "TableArrays"]
+
+
+@dataclass(frozen=True)
+class TableArrays:
+    """Array-backed snapshot of a rank's module table.
+
+    Built once per round from the dict-backed table so the batched
+    move kernel can resolve thousands of ``(q_m, p_m)`` lookups with
+    two ``searchsorted`` calls instead of a Python loop.  Values are
+    the exact stored table floats (missing modules read as 0.0, same
+    as the dict ``.get(m, 0.0)`` convention).
+    """
+
+    mod_ids: np.ndarray  # int64[k], sorted
+    exit: np.ndarray  # float64[k]
+    sum_p: np.ndarray  # float64[k]
+
+    def lookup(
+        self, mod_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (q_m, p_m) with 0.0 for absent modules."""
+        if self.mod_ids.size == 0 or mod_ids.size == 0:
+            return np.zeros(mod_ids.size), np.zeros(mod_ids.size)
+        pos = np.searchsorted(self.mod_ids, mod_ids)
+        pos_c = np.minimum(pos, self.mod_ids.size - 1)
+        hit = self.mod_ids[pos_c] == mod_ids
+        return (
+            np.where(hit, self.exit[pos_c], 0.0),
+            np.where(hit, self.sum_p[pos_c], 0.0),
+        )
 
 
 @dataclass(frozen=True)
@@ -216,6 +246,24 @@ class LocalModuleState:
                     self.table_sum_p[m] = float(lg.flow[li])
                     self.table_exit[m] = float(lg.exit0[li])
                     self.table_members[m] = 1
+
+    def table_arrays(self) -> TableArrays:
+        """Snapshot the dict table into sorted arrays (see TableArrays).
+
+        ``table_exit``'s key set is the authoritative module list (the
+        rebuild paths populate all three dicts together); ``sum_p`` is
+        read through ``.get`` so a hypothetical exit-only entry still
+        resolves to the same values the scalar path would read.
+        """
+        k = len(self.table_exit)
+        ids = np.fromiter(self.table_exit, dtype=np.int64, count=k)
+        q = np.fromiter(self.table_exit.values(), dtype=np.float64, count=k)
+        gp = self.table_sum_p.get
+        p = np.fromiter(
+            (gp(m, 0.0) for m in self.table_exit), dtype=np.float64, count=k
+        )
+        srt = np.argsort(ids)
+        return TableArrays(mod_ids=ids[srt], exit=q[srt], sum_p=p[srt])
 
     def table_lookup(
         self, mod_ids: np.ndarray

@@ -137,8 +137,11 @@ def from_edge_array(
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.add.at(indptr, all_src + 1, 1)
     np.cumsum(indptr, out=indptr)
+    # The lexsort above orders every adjacency row by neighbour id, so
+    # record that for searchsorted edge lookups.
     return Graph(
-        indptr=indptr, indices=all_dst, weights=all_w, num_self_loops=n_loops
+        indptr=indptr, indices=all_dst, weights=all_w, num_self_loops=n_loops,
+        sorted_rows=True,
     )
 
 

@@ -25,7 +25,45 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "gather_rows"]
+
+
+def gather_rows(
+    indptr: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR entry ranges of a block of vertices.
+
+    The vectorized replacement for ``for v in vertices: slice(...)``:
+    one call yields the entry indices of every vertex's adjacency run,
+    in per-vertex CSR order, plus which block position each entry
+    belongs to.
+
+    Args:
+        indptr: ``int64[n+1]`` CSR row offsets.
+        vertices: ``int64[B]`` row ids to gather (any order, repeats
+            allowed).
+
+    Returns:
+        ``(entries, owner)`` where ``entries[j]`` indexes into the CSR
+        data arrays and ``owner[j]`` is the position in *vertices* the
+        entry belongs to.  ``owner`` is non-decreasing.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = indptr[vertices]
+    deg = indptr[vertices + 1] - starts
+    total = int(deg.sum())
+    owner = np.repeat(np.arange(vertices.size, dtype=np.int64), deg)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), owner
+    # Within-run offset = global position minus the run's start in the
+    # concatenation; add the run's CSR start to land on the entry.
+    run_start = np.cumsum(deg) - deg
+    entries = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(run_start, deg)
+        + np.repeat(starts, deg)
+    )
+    return entries, owner
 
 
 @dataclass(frozen=True)
@@ -39,6 +77,10 @@ class Graph:
             two stored directions of one undirected edge carry the same
             weight).
         num_self_loops: number of distinct self-loop edges.
+        sorted_rows: True when every adjacency row is sorted by
+            neighbour id (the builder's canonical layout), enabling
+            ``searchsorted`` lookups in :meth:`has_edge` /
+            :meth:`edge_weight`.
 
     Construct through :mod:`repro.graph.builder` (which canonicalizes,
     deduplicates and validates) rather than directly.
@@ -48,6 +90,7 @@ class Graph:
     indices: np.ndarray
     weights: np.ndarray
     num_self_loops: int = 0
+    sorted_rows: bool = False
 
     def __post_init__(self) -> None:
         if self.indptr.ndim != 1 or self.indptr.size < 1:
@@ -147,16 +190,32 @@ class Graph:
         return rows[keep], self.indices[keep], self.weights[keep]
 
     # -- misc --------------------------------------------------------------------
+    def _find_entry(self, u: int, v: int) -> int:
+        """Index into the data arrays of entry ``(u, v)``, or -1.
+
+        Binary search when rows are sorted (builder graphs), linear scan
+        otherwise.
+        """
+        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+        if self.sorted_rows:
+            pos = lo + int(np.searchsorted(self.indices[lo:hi], v))
+            if pos < hi and self.indices[pos] == v:
+                return pos
+            return -1
+        hits = np.flatnonzero(self.indices[lo:hi] == v)
+        if hits.size == 0:
+            return -1
+        return lo + int(hits[0])
+
     def has_edge(self, u: int, v: int) -> bool:
-        return bool(np.isin(v, self.neighbors(u)).item())
+        return self._find_entry(u, v) >= 0
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of edge ``{u, v}`` or 0.0 if absent."""
-        nbrs = self.neighbors(u)
-        hits = np.flatnonzero(nbrs == v)
-        if hits.size == 0:
+        pos = self._find_entry(u, v)
+        if pos < 0:
             return 0.0
-        return float(self.neighbor_weights(u)[hits[0]])
+        return float(self.weights[pos])
 
     def is_weighted(self) -> bool:
         """True unless every weight equals 1.0."""

@@ -292,16 +292,19 @@ class ThreadCommunicator(Communicator):
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._check_peer(root)
         if self._rank == root:
+            # Serialize and size the payload exactly once at the root;
+            # receivers read both off the board instead of re-walking
+            # the payload per rank.
             wire, nbytes = self._ctx.encode(obj)
             # Root pushes size-1 copies outward (naive linear accounting;
             # the cost model applies a log(p) tree factor).
             self._stats.record_collective(nbytes * (self.size - 1), 0)
+            board_entry: Any = (wire, nbytes)
         else:
-            wire, nbytes = None, 0
-        board = self._collective_exchange(f"bcast:{root}", wire)
-        rwire = board[root]
-        rbytes = len(rwire) if isinstance(rwire, (bytes, bytearray)) else payload_nbytes(rwire)
+            board_entry = None
+        board = self._collective_exchange(f"bcast:{root}", board_entry)
         if self._rank != root:
+            rwire, rbytes = board[root]
             self._stats.record_collective(0, rbytes)
             return self._ctx.decode(rwire)
         return obj
