@@ -278,7 +278,6 @@ def _batched_local_sweep(
     lg = state.lg
     mi = cfg.min_improvement
     snap = state.table_arrays()
-    s0 = state.sum_exit_global
     moves = 0
     work = 0
     dirty: list[int] = []
@@ -288,6 +287,12 @@ def _batched_local_sweep(
         work += int(np.sum(lg.indptr[chunk + 1] - lg.indptr[chunk]))
         agg, score = score_block_table(state, snap, chunk,
                                        id_space=id_space)
+        # score_block_table scored this chunk with the *live* exit sum,
+        # so the drift guard must measure drift from this value — not
+        # from the sweep-start sum (commits in earlier chunks may have
+        # moved it, and drift that cancels back to the start value
+        # would make the bound spuriously zero).
+        s_chunk = state.sum_exit_global
         margins = score.best_delta + mi
         if not dirty and bool((margins >= _BATCH_STAY_SLACK).all()):
             continue  # whole chunk provably stays, no commits yet
@@ -303,7 +308,7 @@ def _batched_local_sweep(
                 if not affected:
                     s_now = state.sum_exit_global
                     bound = drift_guard_bound(
-                        s_now - s0, float(agg.x_u[i]), s0, s_now
+                        s_now - s_chunk, float(agg.x_u[i]), s_chunk, s_now
                     )
                     if float(margins[i]) >= bound + _BATCH_STAY_SLACK:
                         continue

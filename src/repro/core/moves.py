@@ -70,9 +70,9 @@ def neighbor_module_flows(
     # module order — the order the batch kernel's bincount total uses —
     # so both paths feed bitwise-identical arguments to apply_move
     # (kernels.py relies on this; pairwise wts.sum() would not match).
-    x_u = 0.0
-    for f in flows.tolist():
-        x_u += f
+    # cumsum accumulates strictly left-to-right, matching that order
+    # without a Python-level loop.
+    x_u = float(np.cumsum(flows)[-1])
     return uniq.astype(np.int64), flows, x_u
 
 

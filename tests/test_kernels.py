@@ -14,7 +14,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -240,6 +240,9 @@ class TestSequentialEquivalence:
     )
     def test_property_random_planted(self, seed, k, size):
         g = planted_partition(k, size, 0.5, 0.03, seed=seed).graph
+        # Small/sparse draws can come out edgeless, where flow (and hence
+        # the codelength) is undefined — discard those, don't crash.
+        assume(g.total_weight > 0)
         scalar = sequential_infomap(g, _cfg(0, seed=seed % 7))
         batch = sequential_infomap(g, _cfg(128, seed=seed % 7))
         np.testing.assert_array_equal(batch.membership, scalar.membership)
