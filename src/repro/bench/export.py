@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["rows_to_csv", "result_to_json"]
+__all__ = ["rows_to_csv", "result_to_json", "merge_bench_reports"]
 
 
 def rows_to_csv(rows: Sequence[dict[str, Any]], path: "str | Path") -> None:
@@ -37,6 +37,31 @@ def result_to_json(result: dict[str, Any], path: "str | Path") -> None:
     payload = {k: v for k, v in result.items() if k != "text"}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=_coerce)
+
+
+def merge_bench_reports(
+    directory: "str | Path", out_path: "str | Path | None" = None
+) -> dict[str, Any]:
+    """Merge every ``BENCH_*.json`` in *directory* into one report.
+
+    The benchmark suites each drop a standalone ``BENCH_<name>.json``
+    at the repo root (``result_to_json`` payloads); this collects them
+    into a single trajectory report keyed by ``<name>`` so progress
+    across PRs can be tracked from one file.  Files are read in sorted
+    name order for a deterministic result; *out_path*, when given,
+    receives the merged JSON.
+    """
+    directory = Path(directory)
+    merged: dict[str, Any] = {}
+    for p in sorted(directory.glob("BENCH_*.json")):
+        name = p.stem[len("BENCH_"):]
+        with open(p, encoding="utf-8") as fh:
+            merged[name] = json.load(fh)
+    report = {"benchmarks": merged, "count": len(merged)}
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+    return report
 
 
 def _coerce(obj: Any) -> Any:

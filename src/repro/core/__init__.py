@@ -13,6 +13,7 @@ from .kernels import (
     BlockAggregates,
     BlockScore,
     aggregate_block_flows,
+    aggregate_module_flows,
     drift_guard_bound,
     score_block,
     score_block_stats,
@@ -28,7 +29,13 @@ from .mapequation import (
 from .moves import MoveProposal, best_move, neighbor_module_flows
 from .result import ClusteringResult, LevelRecord
 from .sequential import SequentialInfomap, cluster_level, sequential_infomap
-from .swap import Contribution, LocalModuleState, ModuleInfo
+from .swap import (
+    Contribution,
+    LocalModuleState,
+    ModuleInfo,
+    ModuleTable,
+    TableArrays,
+)
 from .timing import (
     PHASE_BROADCAST_DELEGATES,
     PHASE_FIND_BEST,
@@ -54,6 +61,8 @@ __all__ = [
     "LocalModuleState",
     "ModuleInfo",
     "ModuleStats",
+    "ModuleTable",
+    "TableArrays",
     "MoveProposal",
     "PHASES",
     "PHASE_BROADCAST_DELEGATES",
@@ -63,6 +72,7 @@ __all__ = [
     "PhaseTimer",
     "SequentialInfomap",
     "aggregate_block_flows",
+    "aggregate_module_flows",
     "best_move",
     "cluster_level",
     "codelength_terms",

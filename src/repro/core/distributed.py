@@ -48,7 +48,11 @@ from ..simmpi.costmodel import MachineModel
 from ..simmpi.engine import run_spmd
 from .config import InfomapConfig
 from .flow import FlowNetwork
-from .kernels import drift_guard_bound, score_block_table
+from .kernels import (
+    aggregate_module_flows,
+    drift_guard_bound,
+    score_block_table,
+)
 from .mapequation import delta_from_values, plogp
 from .result import ClusteringResult, LevelRecord
 from .swap import Contribution, LocalModuleState
@@ -99,6 +103,7 @@ def _score_candidates(
     here so both the low-degree sweep and the delegate-consensus path
     behave identically.
     """
+    get_q, get_p, get_n = state.table_getters()
     pos = np.searchsorted(uniq, current)
     d_old = float(agg[pos]) if pos < uniq.size and uniq[pos] == current else 0.0
 
@@ -112,13 +117,13 @@ def _score_candidates(
         # when the target is a boundary community; one direction
         # proceeds, the swap cannot.  All other moves stay unrestricted
         # so mass is not ratcheted into small-id modules.
-        if state.table_members.get(current, 1) == 1:
+        if get_n(current, 1) == 1:
             for i in np.flatnonzero(cand_mask):
                 m = int(uniq[i])
                 if (
                     m > current
                     and m in boundary_mods
-                    and state.table_members.get(m, 1) == 1
+                    and get_n(m, 1) == 1
                 ):
                     cand_mask[i] = False
     if not cand_mask.any():
@@ -144,8 +149,8 @@ def _score_candidates(
             d_new=float(cand_flow[best_idx]),
         )
 
-    q_old = state.table_exit.get(current, 0.0)
-    p_old = state.table_sum_p.get(current, 0.0)
+    q_old = get_q(current, 0.0)
+    p_old = get_p(current, 0.0)
 
     # Scalar math (math.log2) beats numpy temporaries by ~10x on the
     # 2-8 candidate modules a real vertex has; the vectorized kernel in
@@ -159,8 +164,8 @@ def _score_candidates(
         + _plogp_s(q_old_after + p_old_after, log2)
         - _plogp_s(q_old + p_old, log2)
     )
-    ge = state.table_exit.get
-    gp = state.table_sum_p.get
+    ge = get_q
+    gp = get_p
 
     deltas: list[float] = []
     for m, d_new in zip(cand.tolist(), cand_flow.tolist()):
@@ -221,27 +226,20 @@ def _local_module_flows(
         flows = flows[nonself]
     if nbrs.size == 0:
         return np.empty(0, np.int64), np.empty(0), 0.0
-    mods = state.module_of[nbrs]
-    if nbrs.size <= 48:
-        # Small-neighbourhood fast path: a plain dict beats np.unique's
-        # sort for the short arrays that dominate scale-free graphs.
-        acc: dict[int, float] = {}
-        x = 0.0
-        for m, f in zip(mods.tolist(), flows.tolist()):
-            acc[m] = acc.get(m, 0.0) + f
-            x += f
-        uniq = np.fromiter(sorted(acc), dtype=np.int64, count=len(acc))
-        agg = np.asarray([acc[m] for m in uniq.tolist()])
-        return uniq, agg, x
-    uniq, inv = np.unique(mods, return_inverse=True)
-    agg = np.bincount(inv, weights=flows, minlength=uniq.size)
-    return uniq.astype(np.int64), agg, float(flows.sum())
+    # Shared with the sequential scalar path and (bitwise, see the
+    # contract on aggregate_module_flows) with the batch kernel's
+    # segment reduction — so the paths cannot drift apart again.
+    return aggregate_module_flows(state.module_of[nbrs], flows)
 
 
-# Stay-skip slack for the batched prefilter: the batch kernel computes
+# Certification slack for the batched sweep: the batch kernel computes
 # deltas with numpy plogp while _score_candidates uses math.log2 in a
-# different association order, so "provably stays" must survive a few
-# ulps of disagreement on top of the analytic drift bound.
+# different association order, so batch-certified decisions (stays AND
+# commits) must survive a few ulps of disagreement on top of the
+# analytic drift bound.  The slack strictly dominates the actual
+# disagreement (~1e-14 on O(1) deltas), which is what makes the
+# certified-commit inequalities strict where the scalar comparisons
+# are.
 _BATCH_STAY_SLACK = 1e-12
 # Below this many active vertices the per-round table-snapshot build
 # costs more than the scalar loop it replaces.
@@ -260,42 +258,82 @@ def _batched_local_sweep(
 ) -> tuple[int, int]:
     """Batched Find-Best-Module sweep over the active owned vertices.
 
-    Round-equivalent to the scalar loop: each chunk is scored in one
-    vectorized shot against a table snapshot taken at round start, and
-    vertices that *provably* stay put (margin beats the drift-guard
-    bound and none of their candidate modules was touched by an
-    earlier commit this round) are skipped outright — skipping a
-    stay-put vertex leaves the table, the move list and the changed
-    sets exactly as the scalar loop would.  Every potential mover goes
-    through the scalar ``_evaluate_move`` so the committed decision
-    sequence (and hence the dict table) is identical bitwise.  The
-    min-label rule only ever *removes* candidates, so batch-stay
-    implies scalar-stay and the prefilter is sound with it enabled.
+    Full batch scoring: each chunk is scored in one vectorized shot
+    against a fresh table snapshot (near-free with the array backend —
+    a live view of the :class:`ModuleTable` columns), with the
+    min-label candidate filter applied *inside* the kernel, and both
+    outcomes are batch-certified where the numbers allow it:
+
+    * certified stay — ``margin >= e`` where
+      ``e = drift_guard_bound(..) + slack``: the scalar evaluator
+      provably finds no improving move, skip outright;
+    * certified commit — ``margin <= -e`` and ``runner_gap >= 2e``:
+      the scalar argmin provably equals the batch argmin, commit it
+      directly (after certifying the min-label near-tie re-break on
+      the retained per-candidate deltas: the first admissible
+      candidate within ``tie_eps`` of the best must be decidable to
+      ``±2e``, otherwise it is a gray zone).
+
+    Everything else — vertices whose current/candidate modules were
+    touched by an earlier commit in the *same chunk*, and gray-zone
+    margins/re-breaks — goes through the scalar ``_evaluate_move``, so
+    the committed decision sequence (and hence the table) is identical
+    to the scalar loop's, bitwise.  The certified-commit inequalities
+    are sound because the batch/scalar delta disagreement is strictly
+    below ``slack`` (numpy-vs-math.log2 ulps) plus the analytic drift
+    bound; flows/p_u/x_u/d_old are bitwise shared with the scalar path
+    via :func:`repro.core.kernels.aggregate_module_flows`, so a
+    certified commit applies exactly the scalar update.
 
     Returns ``(local_moves, work)``; ``touched`` is scratch (cleared
     before returning).
     """
     lg = state.lg
     mi = cfg.min_improvement
-    snap = state.table_arrays()
+    tie = cfg.tie_eps
     moves = 0
     work = 0
-    dirty: list[int] = []
     bs = cfg.batch_size
+    use_minlabel = cfg.min_label and bool(boundary_mods)
+    bmods_arr = (
+        np.fromiter(
+            sorted(boundary_mods), dtype=np.int64, count=len(boundary_mods)
+        )
+        if use_minlabel else None
+    )
+    snap = None  # rebound per chunk; the closure below reads it
+
+    def minlabel_mask(agg):
+        # §3.4 as a vectorized mask (same rule as _score_candidates):
+        # a singleton vertex may not merge *upward* into a singleton
+        # boundary module.
+        sing_cur = snap.lookup_members(agg.current, default=1) == 1
+        seg_n = snap.lookup_members(agg.seg_mods, default=1)
+        removable = (
+            sing_cur[agg.seg_owner]
+            & (agg.seg_mods > agg.current[agg.seg_owner])
+            & (seg_n == 1)
+            & np.isin(agg.seg_mods, bmods_arr)
+        )
+        return ~removable
+
     for lo in range(0, act.size, bs):
         chunk = act[lo : lo + bs]
         work += int(np.sum(lg.indptr[chunk + 1] - lg.indptr[chunk]))
-        agg, score = score_block_table(state, snap, chunk,
-                                       id_space=id_space)
-        # score_block_table scored this chunk with the *live* exit sum,
-        # so the drift guard must measure drift from this value — not
-        # from the sweep-start sum (commits in earlier chunks may have
-        # moved it, and drift that cancels back to the start value
-        # would make the bound spuriously zero).
+        snap = state.table_arrays()
+        agg, score = score_block_table(
+            state, snap, chunk, id_space=id_space,
+            cand_mask_fn=minlabel_mask if use_minlabel else None,
+            keep_candidates=True,
+        )
+        # The chunk was scored with the *live* exit sum, so the drift
+        # guard measures drift from this value; the snapshot is fresh,
+        # so only commits within this chunk can invalidate it.
         s_chunk = state.sum_exit_global
         margins = score.best_delta + mi
-        if not dirty and bool((margins >= _BATCH_STAY_SLACK).all()):
-            continue  # whole chunk provably stays, no commits yet
+        if bool((margins >= _BATCH_STAY_SLACK).all()):
+            continue  # whole chunk provably stays (zero drift yet)
+        dirty: list[int] = []
         for i in range(chunk.size):
             li = int(chunk[i])
             cur = int(agg.current[i])
@@ -305,15 +343,52 @@ def _batched_local_sweep(
                 affected = bool(touched[cur]) or (
                     a < b and bool(touched[agg.seg_mods[a:b]].any())
                 )
-                if not affected:
-                    s_now = state.sum_exit_global
-                    bound = drift_guard_bound(
-                        s_now - s_chunk, float(agg.x_u[i]), s_chunk, s_now
-                    )
-                    if float(margins[i]) >= bound + _BATCH_STAY_SLACK:
+            else:
+                affected = False
+            if not affected:
+                s_now = state.sum_exit_global
+                e = drift_guard_bound(
+                    s_now - s_chunk, float(agg.x_u[i]), s_chunk, s_now
+                ) + _BATCH_STAY_SLACK
+                margin = float(margins[i])
+                if margin >= e:
+                    continue  # certified stay
+                if margin <= -e and float(score.runner_gap[i]) >= 2.0 * e:
+                    tgt = int(score.best_target[i])
+                    d_new = float(score.best_d_new[i])
+                    certified = True
+                    if cfg.min_label and tgt in boundary_mods:
+                        # Certify the near-tie re-break: the scalar
+                        # path re-targets the first candidate within
+                        # tie_eps of its best, scanning ascending
+                        # module ids.
+                        ca = int(score.cand_ptr[i])
+                        cb = int(score.cand_ptr[i + 1])
+                        cd = score.cand_deltas[ca:cb]
+                        thresh = float(score.best_delta[i]) + tie
+                        j = int(np.argmax(cd <= thresh + 2.0 * e))
+                        if int(score.cand_mods[ca + j]) == tgt:
+                            pass  # re-break lands on the argmin itself
+                        elif float(cd[j]) <= thresh - 2.0 * e:
+                            tgt = int(score.cand_mods[ca + j])
+                            d_new = float(score.cand_flows[ca + j])
+                        else:
+                            certified = False  # gray zone: scalar decides
+                    if certified:
+                        state.apply_local_move(
+                            li, tgt,
+                            p_u=float(agg.p_u[i]), x_u=float(agg.x_u[i]),
+                            d_old=float(agg.d_old[i]), d_new=d_new,
+                        )
+                        moves += 1
+                        moved_local.append(li)
+                        changed_mods.add(cur)
+                        changed_mods.add(tgt)
+                        touched[cur] = True
+                        touched[tgt] = True
+                        dirty.append(cur)
+                        dirty.append(tgt)
                         continue
-            elif float(margins[i]) >= _BATCH_STAY_SLACK:
-                continue
             dec = _evaluate_move(state, li, cfg, boundary_mods)
             if dec is not None:
                 state.apply_local_move(
@@ -329,8 +404,8 @@ def _batched_local_sweep(
                 touched[dec.target] = True
                 dirty.append(dec.current)
                 dirty.append(dec.target)
-    if dirty:
-        touched[np.asarray(dirty, dtype=np.int64)] = False
+        if dirty:
+            touched[np.asarray(dirty, dtype=np.int64)] = False
     return moves, work
 
 
@@ -452,7 +527,7 @@ def _cluster_rounds(
     Returns ``(state, final_contribution, codelength_history, rounds,
     total_moves)``.
     """
-    state = LocalModuleState(lg)
+    state = LocalModuleState(lg, backend=cfg.table_backend)
     ghost_base = lg.num_owned + lg.num_hubs
     ghost_index = {
         int(g): ghost_base + i
@@ -897,8 +972,11 @@ def _merge_to_coarse(
         )
         k = all_mods.size
 
-        node_flow = np.zeros(k)
-        np.add.at(node_flow, np.searchsorted(all_mods, mids), msps)
+        # bincount-on-index: same sequential entry-order accumulation
+        # as np.add.at (bitwise), an order of magnitude faster.
+        node_flow = np.bincount(
+            np.searchsorted(all_mods, mids), weights=msps, minlength=k
+        )
 
         uk2, inv2 = np.unique(keys, return_inverse=True)
         kw2 = np.bincount(inv2, weights=kws, minlength=uk2.size) / 2.0

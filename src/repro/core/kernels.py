@@ -76,6 +76,7 @@ __all__ = [
     "BlockAggregates",
     "BlockScore",
     "aggregate_block_flows",
+    "aggregate_module_flows",
     "score_block",
     "score_block_stats",
     "score_block_table",
@@ -83,6 +84,44 @@ __all__ = [
 ]
 
 _LN2 = math.log(2.0)
+
+# Neighbourhood size below which a plain Python dict beats np.unique's
+# sort for per-vertex module aggregation (scale-free graphs are
+# dominated by such short rows).
+_SMALL_NEIGHBORHOOD = 48
+
+
+def aggregate_module_flows(
+    mods: np.ndarray, flows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Aggregate one vertex's link flows per neighbouring module.
+
+    The single shared scalar-path reduction: both the sequential
+    :func:`repro.core.moves.neighbor_module_flows` and the distributed
+    ``_local_module_flows`` route through here, so their numbers cannot
+    drift apart from the batch kernel's (the PR-1 review bug class).
+
+    Returns ``(sorted unique module ids, aggregated flows, x_u)``.
+    Bitwise contract (see module docs): per-module sums accumulate
+    sequentially in entry order (dict ``+=`` below ≡ ``np.bincount``'s
+    in-order bin accumulation), and ``x_u`` is summed over the
+    *aggregated* flows in ascending module order (``np.cumsum`` ≡ the
+    batch kernel's ``bincount`` of segment totals) — so every value is
+    bitwise identical to :func:`aggregate_block_flows`'s.
+    """
+    if mods.size == 0:
+        return np.empty(0, np.int64), np.empty(0), 0.0
+    if mods.size <= _SMALL_NEIGHBORHOOD:
+        acc: dict[int, float] = {}
+        for m, f in zip(mods.tolist(), flows.tolist()):
+            acc[m] = acc.get(m, 0.0) + f
+        uniq = np.fromiter(sorted(acc), dtype=np.int64, count=len(acc))
+        agg = np.asarray([acc[m] for m in uniq.tolist()])
+    else:
+        u, inv = np.unique(mods, return_inverse=True)
+        agg = np.bincount(inv, weights=flows, minlength=u.size)
+        uniq = u.astype(np.int64)
+    return uniq, agg, float(np.cumsum(agg)[-1])
 
 
 @dataclass(frozen=True)
@@ -115,12 +154,22 @@ class BlockScore:
     to the second-best candidate (``+inf`` when there is none) — the
     quantity the drift guard needs to certify that the argmin cannot
     have flipped.
+
+    When scored with ``keep_candidates=True`` the per-candidate arrays
+    are retained: ``cand_mods[cand_ptr[i]:cand_ptr[i+1]]`` are vertex
+    ``i``'s admissible targets in ascending module order with their
+    deltas/flows — what the distributed batch path needs to certify
+    min-label tie re-breaks without rescoring.
     """
 
     best_target: np.ndarray  # int64[B]
     best_delta: np.ndarray  # float64[B]
     best_d_new: np.ndarray  # float64[B]
     runner_gap: np.ndarray  # float64[B]
+    cand_ptr: "np.ndarray | None" = None  # int64[B+1]
+    cand_mods: "np.ndarray | None" = None  # int64[C]
+    cand_deltas: "np.ndarray | None" = None  # float64[C]
+    cand_flows: "np.ndarray | None" = None  # float64[C]
 
 
 def aggregate_block_flows(
@@ -201,6 +250,8 @@ def score_block(
     q_old: np.ndarray,
     p_old: np.ndarray,
     sum_exit: float,
+    cand_mask: "np.ndarray | None" = None,
+    keep_candidates: bool = False,
 ) -> BlockScore:
     """Stage 4: one ΔL evaluation over every candidate of every vertex.
 
@@ -212,6 +263,11 @@ def score_block(
         q_old, p_old: the same aggregates for each vertex's current
             module (``float64[B]``).
         sum_exit: global Σq at snapshot time.
+        cand_mask: optional ``bool[S]`` admissibility mask over
+            ``agg.seg_mods`` — ``False`` entries are never targets (the
+            distributed min-label rule removes candidates this way).
+        keep_candidates: retain per-candidate deltas in the result (see
+            :class:`BlockScore`).
     """
     b = agg.block.size
     best_target = agg.current.copy()
@@ -220,7 +276,17 @@ def score_block(
     runner_gap = np.full(b, np.inf)
 
     cand = agg.seg_mods != agg.current[agg.seg_owner]
+    if cand_mask is not None:
+        cand &= cand_mask
     if not bool(cand.any()):
+        if keep_candidates:
+            return BlockScore(
+                best_target, best_delta, best_d_new, runner_gap,
+                cand_ptr=np.zeros(b + 1, dtype=np.int64),
+                cand_mods=np.empty(0, np.int64),
+                cand_deltas=np.empty(0),
+                cand_flows=np.empty(0),
+            )
         return BlockScore(best_target, best_delta, best_d_new, runner_gap)
 
     cown = agg.seg_owner[cand]
@@ -257,6 +323,12 @@ def score_block(
     masked = deltas.copy()
     masked[first] = np.inf
     runner_gap[nz] = np.minimum.reduceat(masked, starts) - mins
+    if keep_candidates:
+        return BlockScore(
+            best_target, best_delta, best_d_new, runner_gap,
+            cand_ptr=cptr, cand_mods=cmods, cand_deltas=deltas,
+            cand_flows=cflow,
+        )
     return BlockScore(best_target, best_delta, best_d_new, runner_gap)
 
 
@@ -289,9 +361,15 @@ def score_block_table(
     block: np.ndarray,
     *,
     id_space: int,
+    cand_mask_fn=None,
+    keep_candidates: bool = False,
 ) -> tuple[BlockAggregates, BlockScore]:
     """Distributed-path wrapper: score owned vertices against a
-    :class:`repro.core.swap.TableArrays` snapshot."""
+    :class:`repro.core.swap.TableArrays` snapshot.
+
+    ``cand_mask_fn(agg)``, when given, returns a ``bool[S]``
+    admissibility mask over ``agg.seg_mods`` (the min-label filter).
+    """
     lg = state.lg
     agg = aggregate_block_flows(
         lg.indptr, lg.nbr, lg.nbr_flow, block, state.module_of, lg.flow,
@@ -302,6 +380,8 @@ def score_block_table(
     score = score_block(
         agg, q_seg=q_seg, p_seg=p_seg, q_old=q_old, p_old=p_old,
         sum_exit=state.sum_exit_global,
+        cand_mask=None if cand_mask_fn is None else cand_mask_fn(agg),
+        keep_candidates=keep_candidates,
     )
     return agg, score
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .flow import FlowNetwork
+from .kernels import aggregate_module_flows
 from .mapequation import ModuleStats, delta_codelength
 
 __all__ = ["MoveProposal", "neighbor_module_flows", "best_move"]
@@ -61,19 +62,10 @@ def neighbor_module_flows(
     if not nonself.all():
         nbrs = nbrs[nonself]
         wts = wts[nonself]
-    if nbrs.size == 0:
-        return np.empty(0, np.int64), np.empty(0), 0.0
-    mods = membership[nbrs]
-    uniq, inv = np.unique(mods, return_inverse=True)
-    flows = np.bincount(inv, weights=wts, minlength=uniq.size)
-    # x_u is summed over the *aggregated* per-module flows in ascending
-    # module order — the order the batch kernel's bincount total uses —
-    # so both paths feed bitwise-identical arguments to apply_move
-    # (kernels.py relies on this; pairwise wts.sum() would not match).
-    # cumsum accumulates strictly left-to-right, matching that order
-    # without a Python-level loop.
-    x_u = float(np.cumsum(flows)[-1])
-    return uniq.astype(np.int64), flows, x_u
+    # Shared with the distributed scalar path and (by the bitwise
+    # contract documented on aggregate_module_flows) with the batch
+    # kernel's segment reduction, so the paths cannot drift apart.
+    return aggregate_module_flows(membership[nbrs], wts)
 
 
 def best_move(

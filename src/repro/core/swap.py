@@ -20,33 +20,79 @@ is exact local fact (its owned vertices' flow mass, its stored entries'
 cut flow); the *table* is the paper's neighbor-reconstructed estimate
 (own contribution + every received contribution), which is what moves
 are scored against.
+
+Backends
+--------
+
+The module table and the protocol state come in two interchangeable
+backends (``InfomapConfig.table_backend``):
+
+* ``"array"`` — a live :class:`ModuleTable` (sorted id column +
+  parallel ``exit``/``sum_p``/``members`` arrays, with a small
+  overflow buffer absorbing mid-round inserts until the next
+  ``compact()``), plus fully columnar rebuild / swap-prepare /
+  membership-sync paths built on ``np.unique`` + ``np.bincount``
+  segment reduction and the :meth:`LocalGraph.boundary_groups`
+  group-by.  ``table_arrays()`` is a near-free view of the live
+  columns.
+* ``"dict"`` — the legacy per-key Python implementation, kept for one
+  release as the equivalence oracle.
+
+Equivalence contract (tested): for protocol-generated traffic the two
+backends produce byte-identical per-destination wire columns,
+bitwise-identical rebuilt tables, and identical membership decisions.
+The one corner where they differ is unreachable by the protocol: a
+received batch whose *first* record for a module carries
+``is_sent=True`` (the dict path stores the record's numbers, the array
+path keeps the association with zero mass) — :meth:`prepare_swap`
+always emits a module's first record per destination with
+``is_sent=False``, so protocol traffic never exercises it.
+
+Within a round the accumulation *order* is pinned so both backends add
+the same floats in the same sequence: own contribution first, then
+received batches in ascending source order (``np.bincount`` on an
+inverse permutation accumulates each bin sequentially in entry order,
+matching the dict ``+=`` loop to the last bit — the same fact
+:mod:`repro.core.kernels` relies on).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..partition.distgraph import LocalGraph
 
-__all__ = ["ModuleInfo", "Contribution", "LocalModuleState", "TableArrays"]
+__all__ = [
+    "ModuleInfo",
+    "Contribution",
+    "LocalModuleState",
+    "ModuleTable",
+    "TableArrays",
+]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
 
 
 @dataclass(frozen=True)
 class TableArrays:
     """Array-backed snapshot of a rank's module table.
 
-    Built once per round from the dict-backed table so the batched
-    move kernel can resolve thousands of ``(q_m, p_m)`` lookups with
-    two ``searchsorted`` calls instead of a Python loop.  Values are
-    the exact stored table floats (missing modules read as 0.0, same
-    as the dict ``.get(m, 0.0)`` convention).
+    With the dict backend this is built per batch-scoring chunk so the
+    batched move kernel can resolve thousands of ``(q_m, p_m)`` lookups
+    with two ``searchsorted`` calls instead of a Python loop; with the
+    array backend it is a *live view* of the :class:`ModuleTable`
+    columns (near-free to produce).  Values are the exact stored table
+    floats (missing modules read as 0.0, same as the dict
+    ``.get(m, 0.0)`` convention).
     """
 
     mod_ids: np.ndarray  # int64[k], sorted
     exit: np.ndarray  # float64[k]
     sum_p: np.ndarray  # float64[k]
+    members: "np.ndarray | None" = None  # int64[k]
 
     def lookup(
         self, mod_ids: np.ndarray
@@ -61,6 +107,24 @@ class TableArrays:
             np.where(hit, self.exit[pos_c], 0.0),
             np.where(hit, self.sum_p[pos_c], 0.0),
         )
+
+    def lookup_members(
+        self, mod_ids: np.ndarray, default: int = 1
+    ) -> np.ndarray:
+        """Vectorized member counts, *default* for absent modules.
+
+        The default of 1 mirrors the scalar ``table_members.get(m, 1)``
+        convention of the min-label rule (an unknown module is treated
+        as a singleton).
+        """
+        if self.members is None:
+            raise ValueError("snapshot was built without a members column")
+        if self.mod_ids.size == 0 or mod_ids.size == 0:
+            return np.full(mod_ids.size, default, dtype=np.int64)
+        pos = np.searchsorted(self.mod_ids, mod_ids)
+        pos_c = np.minimum(pos, self.mod_ids.size - 1)
+        hit = self.mod_ids[pos_c] == mod_ids
+        return np.where(hit, self.members[pos_c], default)
 
 
 @dataclass(frozen=True)
@@ -109,6 +173,164 @@ class Contribution:
         return float(self.exit.sum())
 
 
+class ModuleTable:
+    """Live array-backed module table: sorted base + overflow buffer.
+
+    The base columns (``ids`` sorted ascending, parallel ``exit`` /
+    ``sum_p`` / ``members``) hold the table as of the last
+    ``reset``/``compact``; modules created by moves between rebuilds
+    land in small Python-list overflow buffers so an insert is O(1).
+    ``compact()`` merges the overflow back into the sorted base (called
+    before every snapshot; rebuilds call ``reset`` directly).  A
+    ``{module id → slot}`` dict gives O(1) scalar lookups; slots
+    ``>= ids.size`` index the overflow.
+
+    In-place mutation of the base columns is deliberate: the batch
+    sweep's :class:`TableArrays` "snapshot" of this table is live, and
+    the sweep's certification logic only trusts snapshot entries whose
+    modules are untouched since the chunk was scored (touched modules
+    force the scalar fallback, which reads this table directly).
+    """
+
+    __slots__ = (
+        "ids", "exit", "sum_p", "members", "_pos",
+        "_ov_ids", "_ov_exit", "_ov_sum_p", "_ov_members",
+    )
+
+    def __init__(self) -> None:
+        self.reset(_EMPTY_I64, _EMPTY_F64, _EMPTY_F64, _EMPTY_I64)
+
+    def __len__(self) -> int:
+        return self.ids.size + len(self._ov_ids)
+
+    def __contains__(self, mod_id: int) -> bool:
+        return mod_id in self._pos
+
+    def reset(
+        self,
+        ids: np.ndarray,
+        exit_: np.ndarray,
+        sum_p: np.ndarray,
+        members: np.ndarray,
+    ) -> None:
+        """Adopt freshly rebuilt sorted columns; drop the overflow."""
+        self.ids = ids
+        self.exit = exit_
+        self.sum_p = sum_p
+        self.members = members
+        self._pos = dict(zip(ids.tolist(), range(ids.size)))
+        self._ov_ids: list[int] = []
+        self._ov_exit: list[float] = []
+        self._ov_sum_p: list[float] = []
+        self._ov_members: list[int] = []
+
+    def compact(self) -> None:
+        """Merge the overflow buffer into the sorted base columns."""
+        if not self._ov_ids:
+            return
+        ids = np.concatenate(
+            [self.ids, np.asarray(self._ov_ids, dtype=np.int64)]
+        )
+        exit_ = np.concatenate([self.exit, np.asarray(self._ov_exit)])
+        sum_p = np.concatenate([self.sum_p, np.asarray(self._ov_sum_p)])
+        members = np.concatenate(
+            [self.members, np.asarray(self._ov_members, dtype=np.int64)]
+        )
+        srt = np.argsort(ids, kind="stable")
+        self.reset(ids[srt], exit_[srt], sum_p[srt], members[srt])
+
+    # -- scalar accessors (the dict-.get replacements) ---------------------
+    def get_q(self, mod_id: int, default: float = 0.0) -> float:
+        i = self._pos.get(mod_id)
+        if i is None:
+            return default
+        k = self.ids.size
+        return float(self.exit[i]) if i < k else self._ov_exit[i - k]
+
+    def get_p(self, mod_id: int, default: float = 0.0) -> float:
+        i = self._pos.get(mod_id)
+        if i is None:
+            return default
+        k = self.ids.size
+        return float(self.sum_p[i]) if i < k else self._ov_sum_p[i - k]
+
+    def get_n(self, mod_id: int, default: int = 0) -> int:
+        i = self._pos.get(mod_id)
+        if i is None:
+            return default
+        k = self.ids.size
+        return int(self.members[i]) if i < k else self._ov_members[i - k]
+
+    # -- mutation ----------------------------------------------------------
+    def _read(self, i: int) -> tuple[float, float, int]:
+        k = self.ids.size
+        if i < k:
+            return (
+                float(self.exit[i]), float(self.sum_p[i]),
+                int(self.members[i]),
+            )
+        j = i - k
+        return self._ov_exit[j], self._ov_sum_p[j], self._ov_members[j]
+
+    def _write(self, i: int, q: float, p: float, n: int) -> None:
+        k = self.ids.size
+        if i < k:
+            self.exit[i] = q
+            self.sum_p[i] = p
+            self.members[i] = n
+        else:
+            j = i - k
+            self._ov_exit[j] = q
+            self._ov_sum_p[j] = p
+            self._ov_members[j] = n
+
+    def insert(self, mod_id: int, q: float, p: float, n: int) -> None:
+        """O(1) insert of a new module into the overflow buffer."""
+        self._pos[mod_id] = self.ids.size + len(self._ov_ids)
+        self._ov_ids.append(mod_id)
+        self._ov_exit.append(q)
+        self._ov_sum_p.append(p)
+        self._ov_members.append(n)
+
+    def apply_move(
+        self,
+        old: int,
+        new: int,
+        *,
+        p_u: float,
+        x_u: float,
+        d_old: float,
+        d_new: float,
+    ) -> float:
+        """Commit one vertex move; returns the Σ-exit change.
+
+        Raises :class:`KeyError` when *old* is unknown — a vertex can
+        only ever leave a module the table accounts for (its own mass
+        put it there at the last rebuild, and entries are never dropped
+        mid-round).
+        """
+        io = self._pos.get(old)
+        if io is None:
+            raise KeyError(
+                f"apply_move out of unknown module {old}: the mover's "
+                f"own mass should have placed it in the table"
+            )
+        q_old, p_old, n_old = self._read(io)
+        i_new = self._pos.get(new)
+        if i_new is None:
+            q_new, p_new, n_new = 0.0, 0.0, 0
+        else:
+            q_new, p_new, n_new = self._read(i_new)
+        q_old_after = q_old - x_u + 2.0 * d_old
+        q_new_after = q_new + x_u - 2.0 * d_new
+        self._write(io, q_old_after, p_old - p_u, n_old - 1)
+        if i_new is None:
+            self.insert(new, q_new_after, p_new + p_u, n_new + 1)
+        else:
+            self._write(i_new, q_new_after, p_new + p_u, n_new + 1)
+        return (q_old_after - q_old) + (q_new_after - q_new)
+
+
 class LocalModuleState:
     """One rank's module bookkeeping for one clustering level.
 
@@ -119,19 +341,37 @@ class LocalModuleState:
     * build/refresh the module *table* (estimates used by ΔL),
     * produce and consume Algorithm-3 message batches,
     * track which modules are *boundary* (min-label rule applies).
+
+    ``backend`` selects the table/protocol implementation (see the
+    module docstring); ``"dict"`` is the default here so direct
+    constructions (tests, docs) get the oracle, while the distributed
+    driver passes ``cfg.table_backend`` (default ``"array"``).
     """
 
-    def __init__(self, lg: LocalGraph) -> None:
+    def __init__(self, lg: LocalGraph, backend: str = "dict") -> None:
+        if backend not in ("array", "dict"):
+            raise ValueError(f"unknown table backend {backend!r}")
         self.lg = lg
+        self.backend = backend
         # Singleton initialization: every vertex its own module, module
         # id = global vertex id (Algorithm 1 lines 7-11).
         self.module_of = lg.global_of.copy()
-        # Delta-swap state: what each peer last told us (absolute
-        # contributions, replace-on-receipt) and what we last shipped.
+        # Delta-swap state (dict backend): what each peer last told us
+        # (absolute contributions, replace-on-receipt) and what we last
+        # shipped.
         self._peer_contrib: dict[int, dict[int, tuple[float, float, int]]] = {}
         self._last_sent: dict[int, tuple[float, float, int]] = {}
         self._sent_pairs: set[tuple[int, int]] = set()
         self._synced_boundary: np.ndarray | None = None
+        # Delta-swap state (array backend): same roles, columnar — the
+        # peer caches are sorted (ids, sum_p, exit, members) columns,
+        # the last-shipped contribution is a sorted column set, and the
+        # per-destination sent-module sets are sorted id arrays.
+        self._peer_cols: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        self._last_cols: "tuple[np.ndarray, ...] | None" = None
+        self._sent_to: dict[int, np.ndarray] = {}
         # Vertices whose (flow, member) mass this rank owns exactly once
         # globally: the owned segment plus home-hub copies.
         owned_mask = np.zeros(lg.num_local, dtype=bool)
@@ -144,10 +384,36 @@ class LocalModuleState:
             np.arange(lg.num_sources, dtype=np.int64), np.diff(lg.indptr)
         )
         # The table: global-estimate aggregates per module id.
-        self.table_sum_p: dict[int, float] = {}
-        self.table_exit: dict[int, float] = {}
-        self.table_members: dict[int, int] = {}
+        if backend == "array":
+            self.table_sum_p = None
+            self.table_exit = None
+            self.table_members = None
+            self._table = ModuleTable()
+            ghost_gids = lg.global_of[lg.ghost_slice()]
+            self._ghosts_sorted = bool(
+                ghost_gids.size == 0
+                or np.all(ghost_gids[:-1] <= ghost_gids[1:])
+            )
+        else:
+            self.table_sum_p: dict[int, float] = {}
+            self.table_exit: dict[int, float] = {}
+            self.table_members: dict[int, int] = {}
+            self._table = None
         self.sum_exit_global: float = 0.0
+
+    def table_getters(self):
+        """``(get_q, get_p, get_n)`` scalar accessors, backend-neutral.
+
+        Each is called as ``get(mod_id, default)`` — dict ``.get``
+        bound methods or the :class:`ModuleTable` accessors.
+        """
+        if self.backend == "array":
+            t = self._table
+            return t.get_q, t.get_p, t.get_n
+        return (
+            self.table_exit.get, self.table_sum_p.get,
+            self.table_members.get,
+        )
 
     # -- exact local facts --------------------------------------------------
     def contribution(self) -> Contribution:
@@ -169,18 +435,18 @@ class LocalModuleState:
         exit_mods = mod_src[cross]
         exit_flows = lg.nbr_flow[cross]
 
-        all_ids = np.unique(np.concatenate([mass_mods, exit_mods]))
+        # bincount-on-inverse rather than np.add.at: same sequential
+        # entry-order accumulation (bitwise), an order of magnitude
+        # faster.
+        all_ids, inv = np.unique(
+            np.concatenate([mass_mods, exit_mods]), return_inverse=True
+        )
         k = all_ids.size
-        sum_p = np.zeros(k)
-        members = np.zeros(k, dtype=np.int64)
-        if mass_mods.size:
-            pos = np.searchsorted(all_ids, mass_mods)
-            np.add.at(sum_p, pos, lg.flow[mass_idx])
-            np.add.at(members, pos, 1)
-        exit_ = np.zeros(k)
-        if exit_mods.size:
-            pos = np.searchsorted(all_ids, exit_mods)
-            np.add.at(exit_, pos, exit_flows)
+        inv_mass = inv[: mass_mods.size]
+        inv_exit = inv[mass_mods.size :]
+        sum_p = np.bincount(inv_mass, weights=lg.flow[mass_idx], minlength=k)
+        members = np.bincount(inv_mass, minlength=k).astype(np.int64)
+        exit_ = np.bincount(inv_exit, weights=exit_flows, minlength=k)
         return Contribution(
             mod_ids=all_ids, sum_p=sum_p, exit=exit_, members=members
         )
@@ -207,6 +473,36 @@ class LocalModuleState:
                 data (flow / exit0), so round 0 can score moves before
                 any info has been swapped.
         """
+        if self.backend == "array":
+            batches = []
+            for batch in received:
+                if isinstance(batch, tuple):
+                    ids, sp, ex, nm, snt = batch
+                else:
+                    ids = np.asarray(
+                        [i.mod_id for i in batch], dtype=np.int64
+                    )
+                    sp = np.asarray([i.sum_pr for i in batch])
+                    ex = np.asarray([i.exit_pr for i in batch])
+                    nm = np.asarray(
+                        [i.num_members for i in batch], dtype=np.int64
+                    )
+                    snt = np.asarray(
+                        [i.is_sent for i in batch], dtype=bool
+                    )
+                # is_sent rows keep the id in the union (the receiver
+                # keeps the association) but add zero mass (line 29).
+                live = ~np.asarray(snt, dtype=bool)
+                batches.append((
+                    np.asarray(ids, dtype=np.int64),
+                    np.where(live, sp, 0.0),
+                    np.where(live, ex, 0.0),
+                    np.where(live, nm, 0),
+                ))
+            self._rebuild_array(
+                own, batches, ghost_singletons=ghost_singletons
+            )
+            return
         self.table_sum_p = dict(zip(own.mod_ids.tolist(), own.sum_p.tolist()))
         self.table_exit = dict(zip(own.mod_ids.tolist(), own.exit.tolist()))
         self.table_members = dict(
@@ -247,14 +543,91 @@ class LocalModuleState:
                     self.table_exit[m] = float(lg.exit0[li])
                     self.table_members[m] = 1
 
-    def table_arrays(self) -> TableArrays:
-        """Snapshot the dict table into sorted arrays (see TableArrays).
+    def _rebuild_array(
+        self,
+        own: Contribution,
+        batches: "list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]",
+        *,
+        ghost_singletons: bool,
+    ) -> None:
+        """One concatenate + segment-reduce over all column batches.
 
-        ``table_exit``'s key set is the authoritative module list (the
-        rebuild paths populate all three dicts together); ``sum_p`` is
-        read through ``.get`` so a hypothetical exit-only entry still
-        resolves to the same values the scalar path would read.
+        Entry order (own first, then *batches* in list order) matches
+        the dict path's add sequence, so every accumulated float is
+        bitwise equal to the oracle's.
         """
+        ids_parts = [own.mod_ids]
+        sp_parts = [own.sum_p]
+        ex_parts = [own.exit]
+        nm_parts = [own.members.astype(np.float64)]
+        for ids, sp, ex, nm in batches:
+            ids_parts.append(ids)
+            sp_parts.append(np.asarray(sp, dtype=np.float64))
+            ex_parts.append(np.asarray(ex, dtype=np.float64))
+            nm_parts.append(np.asarray(nm, dtype=np.float64))
+        all_ids = np.concatenate(ids_parts)
+        uniq, inv = np.unique(all_ids, return_inverse=True)
+        k = uniq.size
+        sum_p = np.bincount(
+            inv, weights=np.concatenate(sp_parts), minlength=k
+        )
+        exit_ = np.bincount(
+            inv, weights=np.concatenate(ex_parts), minlength=k
+        )
+        members = np.bincount(
+            inv, weights=np.concatenate(nm_parts), minlength=k
+        ).astype(np.int64)
+        if k == 0:
+            sum_p = _EMPTY_F64.copy()
+            exit_ = _EMPTY_F64.copy()
+            members = _EMPTY_I64.copy()
+        if ghost_singletons:
+            lg = self.lg
+            idx = np.arange(lg.num_owned, lg.num_local)
+            mods = self.module_of[idx]
+            sel = mods == lg.global_of[idx]
+            if sel.any():
+                cand = mods[sel]
+                cand_idx = idx[sel]
+                # Keep the first occurrence per module id (ascending
+                # local index, like the dict loop), then seed only the
+                # ones the table does not already know.
+                cu, first = np.unique(cand, return_index=True)
+                miss = ~np.isin(cu, uniq)
+                if miss.any():
+                    add_ids = cu[miss]
+                    src = cand_idx[first[miss]]
+                    uniq = np.concatenate([uniq, add_ids])
+                    sum_p = np.concatenate([sum_p, lg.flow[src]])
+                    exit_ = np.concatenate([exit_, lg.exit0[src]])
+                    members = np.concatenate(
+                        [members, np.ones(add_ids.size, dtype=np.int64)]
+                    )
+                    srt = np.argsort(uniq, kind="stable")
+                    uniq = uniq[srt]
+                    sum_p = sum_p[srt]
+                    exit_ = exit_[srt]
+                    members = members[srt]
+        self._table.reset(uniq, exit_, sum_p, members)
+
+    def table_arrays(self) -> TableArrays:
+        """Sorted-column view of the table (see :class:`TableArrays`).
+
+        Array backend: compacts the overflow and returns the live
+        columns (no copy).  Dict backend: snapshots the dicts —
+        ``table_exit``'s key set is the authoritative module list (the
+        rebuild paths populate all three dicts together); ``sum_p`` /
+        ``members`` are read through ``.get`` so a hypothetical
+        exit-only entry still resolves to the same values the scalar
+        path would read.
+        """
+        if self.backend == "array":
+            self._table.compact()
+            t = self._table
+            return TableArrays(
+                mod_ids=t.ids, exit=t.exit, sum_p=t.sum_p,
+                members=t.members,
+            )
         k = len(self.table_exit)
         ids = np.fromiter(self.table_exit, dtype=np.int64, count=k)
         q = np.fromiter(self.table_exit.values(), dtype=np.float64, count=k)
@@ -262,13 +635,21 @@ class LocalModuleState:
         p = np.fromiter(
             (gp(m, 0.0) for m in self.table_exit), dtype=np.float64, count=k
         )
+        gn = self.table_members.get
+        n = np.fromiter(
+            (gn(m, 0) for m in self.table_exit), dtype=np.int64, count=k
+        )
         srt = np.argsort(ids)
-        return TableArrays(mod_ids=ids[srt], exit=q[srt], sum_p=p[srt])
+        return TableArrays(
+            mod_ids=ids[srt], exit=q[srt], sum_p=p[srt], members=n[srt]
+        )
 
     def table_lookup(
         self, mod_ids: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized (q_m, p_m) lookups for candidate modules."""
+        if self.backend == "array":
+            return self.table_arrays().lookup(mod_ids)
         q = np.empty(mod_ids.size)
         p = np.empty(mod_ids.size)
         ge = self.table_exit.get
@@ -292,13 +673,28 @@ class LocalModuleState:
 
         The table update uses the same primed-quantity algebra as the
         sequential :meth:`ModuleStats.apply_move`; exactness is restored
-        at the next swap/rebuild, as in the paper.
+        at the next swap/rebuild, as in the paper.  Raises
+        :class:`KeyError` when the vertex's current module is missing
+        from the table — that can only mean corrupted bookkeeping (the
+        mover's own mass places its module in the table at every
+        rebuild and entries are never dropped mid-round), so it must
+        not be papered over with a default.
         """
         old = int(self.module_of[local_idx])
         if old == new_module:
             return
         self.module_of[local_idx] = new_module
-        q_old = self.table_exit.get(old, 0.0)
+        if self.backend == "array":
+            self.sum_exit_global += self._table.apply_move(
+                old, new_module, p_u=p_u, x_u=x_u, d_old=d_old, d_new=d_new
+            )
+            return
+        if old not in self.table_exit:
+            raise KeyError(
+                f"apply_local_move out of unknown module {old}: the "
+                f"mover's own mass should have placed it in the table"
+            )
+        q_old = self.table_exit[old]
         q_new = self.table_exit.get(new_module, 0.0)
         q_old_after = q_old - x_u + 2.0 * d_old
         q_new_after = q_new + x_u - 2.0 * d_new
@@ -307,10 +703,30 @@ class LocalModuleState:
         self.table_exit[new_module] = q_new_after
         self.table_sum_p[old] = self.table_sum_p.get(old, 0.0) - p_u
         self.table_sum_p[new_module] = self.table_sum_p.get(new_module, 0.0) + p_u
-        self.table_members[old] = self.table_members.get(old, 1) - 1
+        self.table_members[old] = self.table_members[old] - 1
         self.table_members[new_module] = self.table_members.get(new_module, 0) + 1
 
     # -- Algorithm 3: prepare outgoing batches -----------------------------------
+    def _own_lookup(
+        self, own: Contribution, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columns of *own* values for *ids* (zeros where absent)."""
+        if own.mod_ids.size == 0 or ids.size == 0:
+            return (
+                np.zeros(ids.size), np.zeros(ids.size),
+                np.zeros(ids.size, dtype=np.int64),
+                np.zeros(ids.size, dtype=bool),
+            )
+        pos = np.searchsorted(own.mod_ids, ids)
+        pos_c = np.minimum(pos, own.mod_ids.size - 1)
+        hit = own.mod_ids[pos_c] == ids
+        return (
+            np.where(hit, own.sum_p[pos_c], 0.0),
+            np.where(hit, own.exit[pos_c], 0.0),
+            np.where(hit, own.members[pos_c], 0).astype(np.int64),
+            hit,
+        )
+
     def prepare_swap(
         self,
         own: Contribution,
@@ -328,12 +744,20 @@ class LocalModuleState:
         the numbers) — List 1's dedup mechanism, preserved verbatim so
         the ablation can disable it.
 
+        The array backend builds the per-destination columns with a
+        group-by over ``boundary_local``/``boundary_ranks`` instead of
+        per-vertex ``emit()`` calls; the emission order (sorted moved
+        hub modules first, then boundary vertices in boundary order) is
+        identical, so the wire bytes are too.
+
         Args:
             as_arrays: ship each batch as the column-array wire form
                 ``(mod_ids, sum_pr, exit_pr, num_members, is_sent)``
                 (default; the List-1 struct-of-arrays).  ``False``
                 returns ``list[ModuleInfo]`` records (tests, docs).
         """
+        if self.backend == "array" and as_arrays:
+            return self._prepare_swap_array(own, moved_hub_modules)
         lg = self.lg
         cols: dict[int, list[tuple[int, float, float, int, bool]]] = {
             int(r): [] for r in lg.neighbor_ranks
@@ -398,6 +822,43 @@ class LocalModuleState:
             )
         return out
 
+    def _prepare_swap_array(
+        self,
+        own: Contribution,
+        moved_hub_modules: "set[int] | None",
+    ) -> "dict[int, object]":
+        lg = self.lg
+        groups = lg.boundary_groups()
+        hub_arr = (
+            np.asarray(sorted(moved_hub_modules), dtype=np.int64)
+            if moved_hub_modules else _EMPTY_I64
+        )
+        bl_mods = self.module_of[lg.boundary_local]
+        out: dict[int, object] = {}
+        for dest in lg.neighbor_ranks.tolist():
+            pos = groups.get(dest)
+            dmods = bl_mods[pos] if pos is not None else _EMPTY_I64
+            seq = (
+                np.concatenate([hub_arr, dmods]) if hub_arr.size
+                else np.ascontiguousarray(dmods)
+            )
+            if seq.size == 0:
+                out[dest] = (
+                    np.empty(0, np.int64), np.empty(0), np.empty(0),
+                    np.empty(0, np.int64), np.empty(0, bool),
+                )
+                continue
+            _, first = np.unique(seq, return_index=True)
+            is_first = np.zeros(seq.size, dtype=bool)
+            is_first[first] = True
+            sp, ex, nm, _ = self._own_lookup(own, seq)
+            # Repeats ship zero mass with is_sent=True (List 1 dedup).
+            sp = np.where(is_first, sp, 0.0)
+            ex = np.where(is_first, ex, 0.0)
+            nm = np.where(is_first, nm, 0)
+            out[dest] = (seq, sp, ex, nm, ~is_first)
+        return out
+
     # -- delta variants (cross-round change detection) ----------------------
     #
     # Algorithm 3's ``isSent`` flag prevents the same community
@@ -422,6 +883,8 @@ class LocalModuleState:
         ``(mod_ids, sum_pr, exit_pr, num_members)`` (no ``is_sent``
         column — replace semantics make it moot).
         """
+        if self.backend == "array":
+            return self._prepare_swap_delta_array(own, moved_hub_modules)
         lg = self.lg
         # Which of my modules' contributions changed since last round?
         changed: set[int] = set()
@@ -464,8 +927,10 @@ class LocalModuleState:
             m = int(self.module_of[bl])
             for dest in ranks.tolist():
                 emit(int(dest), m)
-        # Vanished modules go to every peer that ever received them.
-        for m in vanished:
+        # Vanished modules go to every peer that ever received them
+        # (ascending id — canonical order shared with the array
+        # backend's wire).
+        for m in sorted(vanished):
             for dest in out:
                 if (dest, m) in self._sent_pairs:
                     emit(dest, m)
@@ -483,11 +948,87 @@ class LocalModuleState:
             )
         return result
 
+    def _prepare_swap_delta_array(
+        self,
+        own: Contribution,
+        moved_hub_modules: "set[int] | None",
+    ) -> "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+        lg = self.lg
+        last = self._last_cols
+        if last is None:
+            changed = own.mod_ids
+            vanished = _EMPTY_I64
+        else:
+            lid, lsp, lex, lnm = last
+            if lid.size:
+                pos = np.searchsorted(lid, own.mod_ids)
+                pos_c = np.minimum(pos, lid.size - 1)
+                hit = lid[pos_c] == own.mod_ids
+                same = (
+                    hit
+                    & (lsp[pos_c] == own.sum_p)
+                    & (lex[pos_c] == own.exit)
+                    & (lnm[pos_c] == own.members)
+                )
+            else:
+                same = np.zeros(own.mod_ids.size, dtype=bool)
+            changed = own.mod_ids[~same]
+            vanished = lid[~np.isin(lid, own.mod_ids)]
+        self._last_cols = (own.mod_ids, own.sum_p, own.exit, own.members)
+
+        groups = lg.boundary_groups()
+        hub_arr = (
+            np.asarray(sorted(moved_hub_modules), dtype=np.int64)
+            if moved_hub_modules else _EMPTY_I64
+        )
+        bl_mods = self.module_of[lg.boundary_local]
+        result: dict[int, tuple[np.ndarray, ...]] = {}
+        for dest in lg.neighbor_ranks.tolist():
+            sent = self._sent_to.get(dest, _EMPTY_I64)
+            pos = groups.get(dest)
+            dmods = bl_mods[pos] if pos is not None else _EMPTY_I64
+            van = (
+                vanished[np.isin(vanished, sent)] if vanished.size
+                else _EMPTY_I64
+            )
+            seq = np.concatenate([hub_arr, dmods, van])
+            if seq.size == 0:
+                continue
+            _, first = np.unique(seq, return_index=True)
+            first.sort()  # first occurrences, in emission order
+            ids = seq[first]
+            keep = (
+                np.isin(ids, changed)
+                | np.isin(ids, vanished)
+                | ~np.isin(ids, sent)
+            )
+            ids = np.ascontiguousarray(ids[keep])
+            if ids.size == 0:
+                continue
+            sp, ex, nm, _ = self._own_lookup(own, ids)
+            result[dest] = (ids, sp, ex, nm)
+            self._sent_to[dest] = np.union1d(sent, ids)
+        return result
+
     def apply_swap_delta(
         self,
         received: "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]",
     ) -> None:
         """Replace the cached contributions the senders refreshed."""
+        if self.backend == "array":
+            for src, (ids, sp, ex, nm) in received.items():
+                old = self._peer_cols.get(src)
+                if old is not None and old[0].size:
+                    stay = ~np.isin(old[0], ids)
+                    ids = np.concatenate([old[0][stay], ids])
+                    sp = np.concatenate([old[1][stay], sp])
+                    ex = np.concatenate([old[2][stay], ex])
+                    nm = np.concatenate([old[3][stay], nm])
+                srt = np.argsort(ids, kind="stable")
+                self._peer_cols[src] = (
+                    ids[srt], sp[srt], ex[srt], nm[srt]
+                )
+            return
         for src, (ids, sp, ex, nm) in received.items():
             cache = self._peer_contrib.setdefault(src, {})
             for i, m in enumerate(ids.tolist()):
@@ -496,14 +1037,27 @@ class LocalModuleState:
     def rebuild_table_from_caches(
         self, own: Contribution, *, ghost_singletons: bool = True
     ) -> None:
-        """Table = own contribution + every peer's cached contribution."""
+        """Table = own contribution + every peer's cached contribution.
+
+        Peers are folded in ascending source-rank order on both
+        backends so the per-module accumulation sequence (and hence
+        every float, bitwise) is identical between them.
+        """
+        if self.backend == "array":
+            batches = [
+                self._peer_cols[src] for src in sorted(self._peer_cols)
+            ]
+            self._rebuild_array(
+                own, batches, ghost_singletons=ghost_singletons
+            )
+            return
         self.table_sum_p = dict(zip(own.mod_ids.tolist(), own.sum_p.tolist()))
         self.table_exit = dict(zip(own.mod_ids.tolist(), own.exit.tolist()))
         self.table_members = dict(
             zip(own.mod_ids.tolist(), own.members.tolist())
         )
-        for cache in self._peer_contrib.values():
-            for m, (sp, ex, nm) in cache.items():
+        for src in sorted(self._peer_contrib):
+            for m, (sp, ex, nm) in self._peer_contrib[src].items():
                 if m in self.table_sum_p:
                     self.table_sum_p[m] += sp
                     self.table_exit[m] += ex
@@ -530,6 +1084,21 @@ class LocalModuleState:
             # First sync: everything is "changed" relative to nothing.
             self._synced_boundary = np.full(lg.boundary_local.size, -1,
                                             dtype=np.int64)
+        if self.backend == "array":
+            bl_mods = self.module_of[lg.boundary_local]
+            moved = bl_mods != self._synced_boundary
+            self._synced_boundary[moved] = bl_mods[moved]
+            groups = lg.boundary_groups()
+            out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            for dest, pos in groups.items():
+                sel = pos[moved[pos]]
+                if sel.size == 0:
+                    continue
+                out[dest] = (
+                    lg.global_of[lg.boundary_local[sel]],
+                    bl_mods[sel],
+                )
+            return out
         out: dict[int, tuple[list[int], list[int]]] = {}
         for i, (bl, ranks) in enumerate(
             zip(lg.boundary_local, lg.boundary_ranks)
@@ -554,8 +1123,18 @@ class LocalModuleState:
     # -- boundary membership sync --------------------------------------------------
     def prepare_membership_sync(self) -> "dict[int, tuple[np.ndarray, np.ndarray]]":
         """Per ghosting rank: ``(global vertex ids, module ids)`` arrays."""
-        out: dict[int, tuple[list[int], list[int]]] = {}
         lg = self.lg
+        if self.backend == "array":
+            bl_mods = self.module_of[lg.boundary_local]
+            groups = lg.boundary_groups()
+            return {
+                dest: (
+                    lg.global_of[lg.boundary_local[pos]],
+                    bl_mods[pos],
+                )
+                for dest, pos in groups.items()
+            }
+        out: dict[int, tuple[list[int], list[int]]] = {}
         for bl, ranks in zip(lg.boundary_local, lg.boundary_ranks):
             gid = int(lg.global_of[bl])
             mod = int(self.module_of[bl])
@@ -581,7 +1160,26 @@ class LocalModuleState:
         Returns the local indices of ghosts whose module actually
         changed — the active-set pruning needs exactly that signal.
         """
-        changed: list[int] = []
+        lg = self.lg
+        if self.backend == "array" and self._ghosts_sorted:
+            ghost_base = lg.num_owned + lg.num_hubs
+            ghost_gids = lg.global_of[lg.ghost_slice()]
+            changed: list[int] = []
+            for gids, mods in received:
+                if gids.size == 0 or ghost_gids.size == 0:
+                    continue
+                pos = np.searchsorted(ghost_gids, gids)
+                pos_c = np.minimum(pos, ghost_gids.size - 1)
+                hit = ghost_gids[pos_c] == gids
+                li = ghost_base + pos_c[hit]
+                new_mods = mods[hit]
+                diff = self.module_of[li] != new_mods
+                if diff.any():
+                    tgt = li[diff]
+                    self.module_of[tgt] = new_mods[diff]
+                    changed.extend(tgt.tolist())
+            return changed
+        changed = []
         for gids, mods in received:
             for gid, mod in zip(gids.tolist(), mods.tolist()):
                 li = ghost_index.get(gid)

@@ -53,6 +53,10 @@ class LocalGraph:
             other rank ghosts.
         boundary_ranks: per boundary vertex, the ranks ghosting it.
         neighbor_ranks: ranks this rank exchanges with each round.
+
+    :meth:`boundary_groups` inverts ``boundary_ranks`` into a
+    per-destination group-by (computed lazily, cached) — the columnar
+    swap/membership-sync paths iterate destinations, not vertices.
     """
 
     rank: int
@@ -71,6 +75,42 @@ class LocalGraph:
     boundary_local: np.ndarray
     boundary_ranks: list[np.ndarray]
     neighbor_ranks: np.ndarray
+    _boundary_groups: "dict[int, np.ndarray] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def boundary_groups(self) -> dict[int, np.ndarray]:
+        """Per destination rank: boundary *positions* ghosted there.
+
+        ``groups[dest]`` is an ``int64`` array of indices into
+        ``boundary_local``/``boundary_ranks``, in boundary order (the
+        stable sort preserves it), so
+        ``boundary_local[groups[dest]]`` are the vertices whose module
+        info / membership must be shipped to *dest*.  Destinations with
+        no boundary vertices are absent.
+        """
+        if self._boundary_groups is None:
+            groups: dict[int, np.ndarray] = {}
+            if self.boundary_local.size:
+                counts = np.fromiter(
+                    (br.size for br in self.boundary_ranks),
+                    dtype=np.int64, count=len(self.boundary_ranks),
+                )
+                pos = np.repeat(
+                    np.arange(counts.size, dtype=np.int64), counts
+                )
+                dests = np.concatenate(self.boundary_ranks)
+                order = np.argsort(dests, kind="stable")
+                dsorted = dests[order]
+                psorted = pos[order]
+                starts = np.flatnonzero(
+                    np.concatenate(([True], dsorted[1:] != dsorted[:-1]))
+                )
+                bounds = np.append(starts, dsorted.size)
+                for i, s in enumerate(starts.tolist()):
+                    groups[int(dsorted[s])] = psorted[s:bounds[i + 1]]
+            self._boundary_groups = groups
+        return self._boundary_groups
 
     @property
     def num_local(self) -> int:

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.bench import result_to_json, rows_to_csv, table1
+from repro.bench import merge_bench_reports, result_to_json, rows_to_csv, table1
 
 
 def test_rows_to_csv_roundtrip(tmp_path):
@@ -30,6 +30,27 @@ def test_result_to_json_drops_text_and_coerces_numpy(tmp_path):
     assert "text" not in data
     assert len(data["rows"]) == 9
     assert isinstance(data["rows"][0]["standin_V"], int)
+
+
+def test_merge_bench_reports(tmp_path):
+    (tmp_path / "BENCH_sweep.json").write_text(
+        json.dumps({"rows": [{"speedup": 4.0}]})
+    )
+    (tmp_path / "BENCH_swap.json").write_text(
+        json.dumps({"rows": [{"speedup": 3.5}]})
+    )
+    (tmp_path / "unrelated.json").write_text("{}")
+    out = tmp_path / "report.json"
+    report = merge_bench_reports(tmp_path, out)
+    assert report["count"] == 2
+    assert sorted(report["benchmarks"]) == ["swap", "sweep"]
+    assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5
+    assert json.loads(out.read_text()) == report
+
+
+def test_merge_bench_reports_empty_dir(tmp_path):
+    report = merge_bench_reports(tmp_path)
+    assert report == {"benchmarks": {}, "count": 0}
 
 
 def test_cli_bench_export(tmp_path, capsys):

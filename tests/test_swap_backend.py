@@ -1,0 +1,316 @@
+"""Array vs dict module-table backends: the equivalence contract.
+
+The array-backed :class:`ModuleTable` and the legacy dict triple must
+be indistinguishable from outside — identical memberships and
+bitwise-equal codelength trajectories end-to-end, byte-identical
+per-destination swap wire columns, and bitwise-equal rebuilt tables on
+any protocol-generated schedule.  The dict backend is the oracle; it
+stays one release exactly so these tests can prove the array backend
+against it.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlowNetwork, InfomapConfig, distributed_infomap
+from repro.core.swap import LocalModuleState
+from repro.graph import (
+    barabasi_albert,
+    powerlaw_planted_partition,
+    ring_of_cliques,
+)
+from repro.partition import delegate_partition, local_views_delegate
+from repro.simmpi import run_spmd
+
+
+def _assert_cols_equal(a, b):
+    """Exact (dtype + bitwise value) equality of wire column tuples."""
+    assert len(a) == len(b)
+    for ca, cb in zip(a, b):
+        assert ca.dtype == cb.dtype
+        np.testing.assert_array_equal(ca, cb)
+
+
+def _assert_tables_equal(sa, sd):
+    """Bitwise-identical table snapshots across the two backends."""
+    ta = sa.table_arrays()
+    td = sd.table_arrays()
+    np.testing.assert_array_equal(ta.mod_ids, td.mod_ids)
+    np.testing.assert_array_equal(ta.exit, td.exit)
+    np.testing.assert_array_equal(ta.sum_p, td.sum_p)
+    np.testing.assert_array_equal(ta.members, td.members)
+    assert sa.sum_exit_global == sd.sum_exit_global
+
+
+class TestEndToEndEquivalence:
+    """Same seed ⇒ identical memberships, bitwise codelengths."""
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    @pytest.mark.parametrize("min_label", [True, False])
+    def test_planted_partition(self, nranks, min_label):
+        lg = powerlaw_planted_partition(300, 6, mu=0.1, seed=11)
+        base = InfomapConfig(seed=5, min_label=min_label)
+        res = {}
+        for backend in ("array", "dict"):
+            res[backend] = distributed_infomap(
+                lg.graph, nranks, base.with_(table_backend=backend)
+            )
+        a, d = res["array"], res["dict"]
+        np.testing.assert_array_equal(a.membership, d.membership)
+        assert a.codelength == d.codelength  # bitwise, not approx
+        assert (
+            a.extras["codelength_history"] == d.extras["codelength_history"]
+        )
+
+    def test_scale_free_with_delegates(self):
+        g = barabasi_albert(400, 3, seed=3)
+        base = InfomapConfig(seed=9, d_high=2)
+        a = distributed_infomap(g, 3, base.with_(table_backend="array"))
+        d = distributed_infomap(g, 3, base.with_(table_backend="dict"))
+        np.testing.assert_array_equal(a.membership, d.membership)
+        assert a.codelength == d.codelength
+        assert (
+            a.extras["codelength_history"] == d.extras["codelength_history"]
+        )
+
+    @pytest.mark.parametrize("batch_size", [0, 256])
+    def test_equivalence_holds_with_and_without_batching(self, batch_size):
+        lg = ring_of_cliques(8, 6)
+        base = InfomapConfig(seed=2, batch_size=batch_size)
+        a = distributed_infomap(lg.graph, 4, base.with_(table_backend="array"))
+        d = distributed_infomap(lg.graph, 4, base.with_(table_backend="dict"))
+        np.testing.assert_array_equal(a.membership, d.membership)
+        assert a.codelength == d.codelength
+
+
+def _paired_states(seed=0):
+    """One (array, dict) state pair per rank over the same local views."""
+    lg = powerlaw_planted_partition(90, 6, mu=0.15, seed=seed)
+    net = FlowNetwork.from_graph(lg.graph)
+    dp = delegate_partition(lg.graph, 3, d_high=6)
+    views = local_views_delegate(net, dp)
+    arr = [LocalModuleState(v, backend="array") for v in views]
+    dct = [LocalModuleState(v, backend="dict") for v in views]
+    return views, arr, dct
+
+
+class TestProtocolEquivalence:
+    """Random membership-churn schedules through the full protocol."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_wire_tables_and_sync_match(self, seed):
+        rng = np.random.default_rng(seed)
+        views, arr, dct = _paired_states(seed % 7)
+        nranks = len(views)
+        ghost_indexes = [
+            {
+                int(v.global_of[li]): li
+                for li in range(v.num_owned + v.num_hubs, v.num_local)
+            }
+            for v in views
+        ]
+        for _round in range(3):
+            # Identical random churn on both backends' memberships.
+            for r, v in enumerate(views):
+                if v.num_owned == 0:
+                    continue
+                n_moves = int(rng.integers(0, max(v.num_owned // 3, 2)))
+                movers = rng.integers(0, v.num_owned, size=n_moves)
+                targets = v.global_of[
+                    rng.integers(0, v.num_local, size=n_moves)
+                ]
+                arr[r].module_of[movers] = targets
+                dct[r].module_of[movers] = targets
+            hub_mods = (
+                set(
+                    int(m)
+                    for m in rng.choice(
+                        views[0].global_of, size=2, replace=False
+                    )
+                )
+                if rng.random() < 0.5 else None
+            )
+
+            owns_a = [s.contribution() for s in arr]
+            owns_d = [s.contribution() for s in dct]
+            for ca, cd in zip(owns_a, owns_d):
+                np.testing.assert_array_equal(ca.mod_ids, cd.mod_ids)
+                np.testing.assert_array_equal(ca.sum_p, cd.sum_p)
+                np.testing.assert_array_equal(ca.exit, cd.exit)
+                np.testing.assert_array_equal(ca.members, cd.members)
+
+            # Full (Algorithm 3 literal) wire: byte-identical columns.
+            full_a = [
+                arr[r].prepare_swap(owns_a[r], hub_mods)
+                for r in range(nranks)
+            ]
+            full_d = [
+                dct[r].prepare_swap(owns_d[r], hub_mods)
+                for r in range(nranks)
+            ]
+            for wa, wd in zip(full_a, full_d):
+                assert sorted(wa) == sorted(wd)
+                for dest in wa:
+                    _assert_cols_equal(wa[dest], wd[dest])
+
+            # Delta wire: byte-identical columns and destinations.
+            delta_a = [
+                arr[r].prepare_swap_delta(owns_a[r], hub_mods)
+                for r in range(nranks)
+            ]
+            delta_d = [
+                dct[r].prepare_swap_delta(owns_d[r], hub_mods)
+                for r in range(nranks)
+            ]
+            for wa, wd in zip(delta_a, delta_d):
+                assert sorted(wa) == sorted(wd)
+                for dest in wa:
+                    _assert_cols_equal(wa[dest], wd[dest])
+
+            # Route the deltas, rebuild, compare tables bitwise.
+            for dest in range(nranks):
+                inbox_a = {
+                    src: delta_a[src][dest]
+                    for src in range(nranks) if dest in delta_a[src]
+                }
+                inbox_d = {
+                    src: delta_d[src][dest]
+                    for src in range(nranks) if dest in delta_d[src]
+                }
+                arr[dest].apply_swap_delta(inbox_a)
+                dct[dest].apply_swap_delta(inbox_d)
+                arr[dest].rebuild_table_from_caches(owns_a[dest])
+                dct[dest].rebuild_table_from_caches(owns_d[dest])
+                _assert_tables_equal(arr[dest], dct[dest])
+
+            # Membership sync: identical wire, identical ghost updates.
+            sync_a = [s.prepare_membership_sync_delta() for s in arr]
+            sync_d = [s.prepare_membership_sync_delta() for s in dct]
+            for wa, wd in zip(sync_a, sync_d):
+                assert sorted(wa) == sorted(wd)
+                for dest in wa:
+                    _assert_cols_equal(wa[dest], wd[dest])
+            for dest in range(nranks):
+                in_a = [
+                    sync_a[src][dest]
+                    for src in range(nranks) if dest in sync_a[src]
+                ]
+                in_d = [
+                    sync_d[src][dest]
+                    for src in range(nranks) if dest in sync_d[src]
+                ]
+                ch_a = arr[dest].apply_membership_sync(
+                    in_a, ghost_indexes[dest]
+                )
+                ch_d = dct[dest].apply_membership_sync(
+                    in_d, ghost_indexes[dest]
+                )
+                assert ch_a == ch_d
+                np.testing.assert_array_equal(
+                    arr[dest].module_of, dct[dest].module_of
+                )
+
+    def test_full_rebuild_from_wire_matches(self):
+        """rebuild_table over exchanged full batches is bitwise equal."""
+        views, arr, dct = _paired_states(3)
+        nranks = len(views)
+        owns_a = [s.contribution() for s in arr]
+        owns_d = [s.contribution() for s in dct]
+        full_a = [arr[r].prepare_swap(owns_a[r]) for r in range(nranks)]
+        full_d = [dct[r].prepare_swap(owns_d[r]) for r in range(nranks)]
+        for dest in range(nranks):
+            # Ascending source order, like Communicator.exchange yields.
+            batches_a = [
+                full_a[src][dest]
+                for src in range(nranks)
+                if src != dest and dest in full_a[src]
+            ]
+            batches_d = [
+                full_d[src][dest]
+                for src in range(nranks)
+                if src != dest and dest in full_d[src]
+            ]
+            arr[dest].rebuild_table(owns_a[dest], batches_a)
+            dct[dest].rebuild_table(owns_d[dest], batches_d)
+            arr[dest].sum_exit_global = sum(c.total_exit() for c in owns_a)
+            dct[dest].sum_exit_global = sum(c.total_exit() for c in owns_d)
+            _assert_tables_equal(arr[dest], dct[dest])
+
+
+class TestSwapMeterInvariant:
+    """Metered swap bytes == pickled wire size, on both backends."""
+
+    @pytest.mark.parametrize("backend", ["array", "dict"])
+    def test_metered_bytes_match_pickled_columns(self, backend):
+        def prog(comm, backend=backend):
+            lg = ring_of_cliques(8, 5)
+            net = FlowNetwork.from_graph(lg.graph)
+            dp = delegate_partition(lg.graph, comm.size, d_high=5)
+            views = local_views_delegate(net, dp)
+            state = LocalModuleState(views[comm.rank], backend=backend)
+            own = state.contribution()
+            wire = state.prepare_swap(own)
+            comm.set_phase("swaptest")
+            comm.exchange(wire)
+            comm.set_phase("other")
+            return sum(
+                len(pickle.dumps(v, pickle.HIGHEST_PROTOCOL))
+                for v in wire.values()
+            )
+
+        res = run_spmd(prog, 3)
+        for r in range(3):
+            expected = res.results[r]
+            metered = res.ledger.for_rank(r).bytes_by_phase["swaptest"]
+            assert metered == expected
+
+    def test_wire_bytes_identical_across_backends(self):
+        sizes = {}
+        for backend in ("array", "dict"):
+            views, arr, dct = _paired_states(1)
+            states = arr if backend == "array" else dct
+            wires = [s.prepare_swap(s.contribution()) for s in states]
+            sizes[backend] = [
+                {
+                    dest: len(pickle.dumps(w[dest], pickle.HIGHEST_PROTOCOL))
+                    for dest in sorted(w)
+                }
+                for w in wires
+            ]
+        assert sizes["array"] == sizes["dict"]
+
+
+class TestApplyMoveBookkeeping:
+    """Moving out of a module the table does not know is an error."""
+
+    @pytest.mark.parametrize("backend", ["array", "dict"])
+    def test_move_out_of_unknown_module_raises(self, backend):
+        views, arr, dct = _paired_states(0)
+        state = (arr if backend == "array" else dct)[0]
+        state.rebuild_table(state.contribution(), [])
+        # Corrupt one vertex's membership to a module id nobody has.
+        state.module_of[0] = 10**9
+        with pytest.raises(KeyError):
+            state.apply_local_move(
+                0, 1, p_u=0.01, x_u=0.01, d_old=0.0, d_new=0.005
+            )
+
+    @pytest.mark.parametrize("backend", ["array", "dict"])
+    def test_known_module_moves_keep_member_counts(self, backend):
+        views, arr, dct = _paired_states(0)
+        state = (arr if backend == "array" else dct)[0]
+        state.rebuild_table(state.contribution(), [])
+        old = int(state.module_of[0])
+        new = int(state.module_of[1])
+        get_q, get_p, get_n = state.table_getters()
+        n_old, n_new = get_n(old, 0), get_n(new, 0)
+        state.apply_local_move(
+            0, new, p_u=0.01, x_u=0.01, d_old=0.0, d_new=0.005
+        )
+        assert get_n(old, 0) == n_old - 1
+        assert get_n(new, 0) == n_new + 1
