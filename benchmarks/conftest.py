@@ -10,6 +10,22 @@ value under test is the experiment's *content*, the timing is a bonus.
 import pytest
 
 
+def pytest_collection_modifyitems(config, items):
+    """Skip throughput guards unless ``--run-bench`` is given.
+
+    The guards (frames-vs-pickle wire speedup, swap-cycle rounds/sec)
+    take tens of seconds and measure wall-clock ratios, so they don't
+    belong in the default tier-1 sweep; ``pytest benchmarks/
+    --run-bench`` opts in.
+    """
+    if config.getoption("--run-bench"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-bench")
+    for item in items:
+        if "throughput_guard" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run an experiment driver exactly once under pytest-benchmark."""

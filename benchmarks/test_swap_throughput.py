@@ -1,14 +1,15 @@
-"""Swap-protocol throughput: array-backed ModuleTable vs dict oracle.
+"""Swap-protocol throughput for the array-backed ModuleTable.
 
-Not a paper figure — this guards the tentpole of the array-backed
-module table: the full swap+rebuild cycle (membership churn →
-membership-sync delta → contribution → delta swap prepare → apply at
-the receivers → rebuild from caches → table snapshot) run loopback
-over the local views of a 50k-vertex delegate-partitioned scale-free
-graph.  Both backends execute the identical churn schedule, so the
-final tables must be bitwise equal while the array backend clears a
-3× rounds/sec floor.  Results land in ``BENCH_swap.json`` at the repo
-root; ``repro.bench.export.merge_bench_reports`` folds every
+Not a paper figure — this tracks the absolute throughput of the full
+swap+rebuild cycle (membership churn → membership-sync delta →
+contribution → delta swap prepare → apply at the receivers → rebuild
+from caches → table snapshot) run loopback over the local views of a
+50k-vertex delegate-partitioned scale-free graph.  The dict oracle it
+used to race against is retired; what remains is an absolute
+rounds/sec record plus a determinism guard: two runs of the identical
+churn schedule must end in bitwise-equal tables.  Results land in
+``BENCH_swap.json`` at the repo root;
+``repro.bench.export.merge_bench_reports`` folds every
 ``BENCH_*.json`` into one trajectory report.
 """
 
@@ -16,6 +17,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.bench.export import result_to_json
 from repro.core import FlowNetwork
@@ -28,7 +30,6 @@ ATTACH = 5
 NRANKS = 4
 D_HIGH = 64  # BA(m=5) has min degree 5; delegate only the heavy tail
 N_ROUNDS = 8
-MIN_SPEEDUP = 3.0
 
 
 def _build_views():
@@ -39,7 +40,7 @@ def _build_views():
 
 
 def _churn_schedule(views):
-    """Per-round, per-rank (movers, targets) — same for both backends."""
+    """Per-round, per-rank (movers, targets) — same for every run."""
     rng = np.random.default_rng(7)
     schedule = []
     for _ in range(N_ROUNDS):
@@ -55,8 +56,8 @@ def _churn_schedule(views):
     return schedule
 
 
-def _run_backend(views, schedule, backend):
-    states = [LocalModuleState(v, backend=backend) for v in views]
+def _run_cycle(views, schedule):
+    states = [LocalModuleState(v) for v in views]
     ghost_indexes = [
         {
             int(v.global_of[li]): li
@@ -102,22 +103,21 @@ def swap_throughput() -> dict:
     views = _build_views()
     schedule = _churn_schedule(views)
 
-    dict_row, dict_snaps = _run_backend(views, schedule, "dict")
-    array_row, array_snaps = _run_backend(views, schedule, "array")
-    array_row["speedup"] = dict_row["elapsed_s"] / array_row["elapsed_s"]
+    row_a, snaps_a = _run_cycle(views, schedule)
+    # Second run from fresh state: same schedule ⇒ bitwise-equal tables.
+    row_b, snaps_b = _run_cycle(views, schedule)
 
-    # Same schedule ⇒ bitwise-identical final tables.
-    tables_equal = all(
-        np.array_equal(sa.mod_ids, sd.mod_ids)
-        and np.array_equal(sa.exit, sd.exit)
-        and np.array_equal(sa.sum_p, sd.sum_p)
-        and np.array_equal(sa.members, sd.members)
-        for sa, sd in zip(array_snaps, dict_snaps)
+    deterministic = all(
+        np.array_equal(sa.mod_ids, sb.mod_ids)
+        and np.array_equal(sa.exit, sb.exit)
+        and np.array_equal(sa.sum_p, sb.sum_p)
+        and np.array_equal(sa.members, sb.members)
+        for sa, sb in zip(snaps_a, snaps_b)
     )
 
     rows = [
-        {"backend": "dict", **dict_row},
-        {"backend": "array", **array_row},
+        {"run": "first", **row_a},
+        {"run": "repeat", **row_b},
     ]
     lines = [
         f"swap+rebuild throughput, n={N_VERTICES} BA(m={ATTACH}), "
@@ -125,26 +125,25 @@ def swap_throughput() -> dict:
     ]
     for r in rows:
         lines.append(
-            f"  {r['backend']:>5}  {r['rounds_per_s']:>8.2f} rounds/s  "
-            f"({r['elapsed_s']:.2f}s, speedup "
-            f"{r.get('speedup', 1.0):.2f}x)"
+            f"  {r['run']:>6}  {r['rounds_per_s']:>8.2f} rounds/s  "
+            f"({r['elapsed_s']:.2f}s)"
         )
     return {
         "text": "\n".join(lines),
         "rows": rows,
-        "tables_equal": tables_equal,
+        "deterministic": deterministic,
         "n": N_VERTICES,
         "nranks": NRANKS,
         "rounds": N_ROUNDS,
     }
 
 
+@pytest.mark.throughput_guard
 def test_swap_throughput(run_once):
     out = run_once(swap_throughput)
     print("\n" + out["text"])
-    assert out["tables_equal"], "backends diverged on identical schedule"
-    array_row = next(r for r in out["rows"] if r["backend"] == "array")
-    assert array_row["speedup"] >= MIN_SPEEDUP, array_row
+    assert out["deterministic"], "identical schedule diverged across runs"
+    assert all(r["rounds_per_s"] > 0 for r in out["rows"])
 
     result_to_json(out, Path(__file__).resolve().parents[1] /
                    "BENCH_swap.json")

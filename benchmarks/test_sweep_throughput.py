@@ -13,6 +13,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.bench.export import result_to_json
 from repro.core import FlowNetwork, InfomapConfig, ModuleStats
@@ -78,6 +79,7 @@ def sweep_throughput() -> dict:
     }
 
 
+@pytest.mark.throughput_guard
 def test_sweep_throughput(run_once):
     out = run_once(sweep_throughput)
     print("\n" + out["text"])

@@ -1,0 +1,10 @@
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-bench",
+        action="store_true",
+        default=False,
+        help=(
+            "run throughput-guard benchmarks (tests marked "
+            "throughput_guard), which are skipped by default"
+        ),
+    )

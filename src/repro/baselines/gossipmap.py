@@ -43,7 +43,7 @@ def gossipmap(
     config: InfomapConfig | None = None,
     *,
     machine: MachineModel | None = None,
-    copy_mode: str = "pickle",
+    copy_mode: str = "frames",
     timeout: float = 600.0,
 ) -> ClusteringResult:
     """Run the GossipMap-like baseline on *nranks* simulated ranks.

@@ -99,15 +99,6 @@ class InfomapConfig:
             only trades memory/locality against vectorization; ``0``
             disables batching entirely (the legacy one-vertex-at-a-time
             path, kept for ablations and equivalence tests).
-        table_backend: storage backing the distributed per-rank module
-            table (:class:`repro.core.swap.LocalModuleState`).
-            ``"array"`` (default) is the live array-backed
-            ``ModuleTable`` with columnar rebuild/swap/membership-sync
-            paths; ``"dict"`` is the legacy per-key implementation,
-            kept for one release as the equivalence oracle — both
-            backends produce identical memberships, bitwise-equal
-            codelength trajectories, and byte-identical swap wire
-            traffic for the same seed.
     """
 
     threshold: float = 1e-8
@@ -130,7 +121,6 @@ class InfomapConfig:
     round_threshold_rel: float = 1e-4
     max_rounds: int = 60
     batch_size: int = 256
-    table_backend: str = "array"
 
     def __post_init__(self) -> None:
         if self.threshold < 0:
@@ -163,11 +153,6 @@ class InfomapConfig:
             raise ValueError(
                 "delegate_consensus must be 'aggregate' or 'min_local', "
                 f"got {self.delegate_consensus!r}"
-            )
-        if self.table_backend not in ("array", "dict"):
-            raise ValueError(
-                "table_backend must be 'array' or 'dict', "
-                f"got {self.table_backend!r}"
             )
 
     def with_(self, **changes: Any) -> "InfomapConfig":

@@ -527,7 +527,7 @@ def _cluster_rounds(
     Returns ``(state, final_contribution, codelength_history, rounds,
     total_moves)``.
     """
-    state = LocalModuleState(lg, backend=cfg.table_backend)
+    state = LocalModuleState(lg)
     ghost_base = lg.num_owned + lg.num_hubs
     ghost_index = {
         int(g): ghost_base + i
@@ -788,18 +788,57 @@ def _cluster_rounds(
                             )
                     timer.add_work(PHASE_FIND_BEST, hwork)
             with timer.phase(PHASE_BROADCAST_DELEGATES):
-                all_props = comm.allgather(proposals)
+                # Ship the proposals as three typed columns through an
+                # allgatherv instead of one generic dict per rank.
+                n_props = len(proposals)
+                hub_col = np.fromiter(
+                    proposals.keys(), dtype=np.int64, count=n_props
+                )
+                delta_col = np.fromiter(
+                    (v[0] for v in proposals.values()),
+                    dtype=np.float64, count=n_props,
+                )
+                target_col = np.fromiter(
+                    (v[1] for v in proposals.values()),
+                    dtype=np.int64, count=n_props,
+                )
+                (hubs_all, deltas_all, targets_all), counts = (
+                    comm.allgatherv((hub_col, delta_col, target_col))
+                )
             with timer.phase(PHASE_OTHER):
-                winners: dict[int, tuple[float, int, int]] = {}
-                for r, props in enumerate(all_props):
-                    for hub, (delta, target) in props.items():
-                        key = (delta, target, r)
-                        if hub not in winners or key < winners[hub]:
-                            winners[hub] = key
+                # Winner per hub = lexicographic min of
+                # (delta, target, rank) — value-identical to folding
+                # each rank's proposals through a tuple-key min.
+                winners: dict[int, tuple[float, int]] = {}
+                if hubs_all.size:
+                    prop_ranks = np.repeat(
+                        np.arange(comm.size, dtype=np.int64), counts
+                    )
+                    p_order = np.lexsort(
+                        (prop_ranks, targets_all, deltas_all, hubs_all)
+                    )
+                    h_sorted = hubs_all[p_order]
+                    is_first = np.ones(h_sorted.size, dtype=bool)
+                    is_first[1:] = h_sorted[1:] != h_sorted[:-1]
+                    win = p_order[is_first]
+                    # Keep the legacy first-encounter insertion order
+                    # (rank-major): winners.items() drives the move
+                    # loop, and move order feeds float accumulation in
+                    # the module table, so it must not change.
+                    _uniq, first_idx = np.unique(
+                        hubs_all, return_index=True
+                    )
+                    win = win[np.argsort(first_idx, kind="stable")]
+                    winners = {
+                        int(h): (float(d), int(t))
+                        for h, d, t in zip(
+                            hubs_all[win], deltas_all[win], targets_all[win]
+                        )
+                    }
         moved_hubs: list[int] = []
         if with_delegates and lg.num_hubs:
             with timer.phase(PHASE_OTHER):
-                for hub, (_delta, target, _r) in winners.items():
+                for hub, (_delta, target) in winners.items():
                     hi = hub_index[hub]
                     old = int(state.module_of[hi])
                     if old != target:
@@ -846,47 +885,24 @@ def _cluster_rounds(
 
         if cfg.full_module_info and cfg.delta_swap:
             with timer.phase(PHASE_SWAP_BOUNDARY):
+                # Native typed column tuples go straight on the wire —
+                # the frame codec ships each column as raw aligned
+                # bytes, so no float64 re-packing is needed (int ids
+                # round-tripped exactly through the old packing too, so
+                # decoded values are unchanged).
                 deltas_out = state.prepare_swap_delta(own, moved_hub_modules)
-                wire = {
-                    d: np.vstack([
-                        b[0].astype(np.float64), b[1], b[2],
-                        b[3].astype(np.float64),
-                    ])
-                    for d, b in deltas_out.items()
-                }
-                recv2 = comm.exchange(wire)
+                recv2 = comm.exchange(deltas_out)
             with timer.phase(PHASE_OTHER):
-                state.apply_swap_delta({
-                    src: (
-                        m[0].astype(np.int64), m[1], m[2],
-                        m[3].astype(np.int64),
-                    )
-                    for src, m in recv2.items()
-                })
+                state.apply_swap_delta(recv2)
                 state.rebuild_table_from_caches(own)
         elif cfg.full_module_info:
             with timer.phase(PHASE_SWAP_BOUNDARY):
                 batches = state.prepare_swap(own, moved_hub_modules)
-                # One dense (5, n) matrix per destination keeps the
-                # wire size near the List-1 struct's 29 bytes/record
-                # instead of paying per-array pickle framing.
-                wire = {
-                    d: np.vstack([
-                        b[0].astype(np.float64), b[1], b[2],
-                        b[3].astype(np.float64), b[4].astype(np.float64),
-                    ])
-                    for d, b in batches.items()
-                }
-                recv2 = comm.exchange(wire)
-            received = [
-                (
-                    m[0].astype(np.int64), m[1], m[2],
-                    m[3].astype(np.int64), m[4].astype(bool),
-                )
-                for m in recv2.values()
-            ]
+                recv2 = comm.exchange(batches)
             with timer.phase(PHASE_OTHER):
-                state.rebuild_table(own, received)
+                # exchange() yields ascending source order — the fold
+                # order the bitwise-deterministic rebuild depends on.
+                state.rebuild_table(own, list(recv2.values()))
         else:
             with timer.phase(PHASE_OTHER):
                 state.rebuild_table(own, [])
@@ -1131,7 +1147,7 @@ def distributed_infomap(
     config: InfomapConfig | None = None,
     *,
     machine: MachineModel | None = None,
-    copy_mode: str = "pickle",
+    copy_mode: str = "frames",
     timeout: float = 600.0,
 ) -> ClusteringResult:
     """Run the distributed Infomap algorithm on *nranks* simulated ranks.
@@ -1257,9 +1273,17 @@ def _modeled_time(res: Any, mm: MachineModel, nranks: int) -> dict[str, float]:
     coll_calls = max(s.collective_calls + s.barrier_calls for s in ledger)
     sync = mm.collective_latency(nranks, coll_calls)
     phases["collective_sync"] = sync
+    # Serialization: measured encode+decode seconds on the slowest rank.
+    # Unlike the alpha-beta terms this is wall time actually spent in
+    # the codec of the thread-backed simulator, so it is reported as a
+    # diagnostic next to the model but kept out of the analytic total:
+    # it reflects this process's GIL-serialized execution, not the
+    # modeled machine (an mpi4py port drops the frame path to near
+    # zero via the buffer protocol).
+    phases["serialization"] = ledger.max_serialization_seconds
     phases["total"] = sum(
         v for k, v in phases.items()
-        if k not in ("total", PHASE_MEASUREMENT)
+        if k not in ("total", PHASE_MEASUREMENT, "serialization")
     )
     return phases
 
@@ -1280,8 +1304,10 @@ class DistributedInfomap:
         nranks: simulated MPI ranks.
         config: algorithm knobs (see :class:`InfomapConfig`).
         machine: machine model for the modeled-time accounting.
-        copy_mode: payload isolation mode of the runtime
-            (``"pickle"`` = faithful distributed memory, default).
+        copy_mode: payload isolation mode of the runtime.
+            ``"frames"`` (default) ships numpy columns as typed raw
+            frames — no pickle on the hot path; ``"pickle"`` is the
+            equivalence oracle (identical decoded values, slower).
     """
 
     def __init__(
@@ -1290,7 +1316,7 @@ class DistributedInfomap:
         config: InfomapConfig | None = None,
         *,
         machine: MachineModel | None = None,
-        copy_mode: str = "pickle",
+        copy_mode: str = "frames",
         timeout: float = 600.0,
     ) -> None:
         if nranks < 1:

@@ -21,43 +21,33 @@ cut flow); the *table* is the paper's neighbor-reconstructed estimate
 (own contribution + every received contribution), which is what moves
 are scored against.
 
-Backends
---------
+Representation
+--------------
 
-The module table and the protocol state come in two interchangeable
-backends (``InfomapConfig.table_backend``):
+The module table is a live :class:`ModuleTable` (sorted id column +
+parallel ``exit``/``sum_p``/``members`` arrays, with a small overflow
+buffer absorbing mid-round inserts until the next ``compact()``), and
+every protocol path — rebuild, swap-prepare, membership-sync — is
+columnar, built on ``np.unique`` + ``np.bincount`` segment reduction
+and the :meth:`LocalGraph.boundary_groups` group-by.
+``table_arrays()`` is a near-free view of the live columns.  (A legacy
+per-key dict implementation served as the equivalence oracle for one
+release and has been retired; the read-only ``table_sum_p`` /
+``table_exit`` / ``table_members`` mappings remain as views over the
+live table.)
 
-* ``"array"`` — a live :class:`ModuleTable` (sorted id column +
-  parallel ``exit``/``sum_p``/``members`` arrays, with a small
-  overflow buffer absorbing mid-round inserts until the next
-  ``compact()``), plus fully columnar rebuild / swap-prepare /
-  membership-sync paths built on ``np.unique`` + ``np.bincount``
-  segment reduction and the :meth:`LocalGraph.boundary_groups`
-  group-by.  ``table_arrays()`` is a near-free view of the live
-  columns.
-* ``"dict"`` — the legacy per-key Python implementation, kept for one
-  release as the equivalence oracle.
-
-Equivalence contract (tested): for protocol-generated traffic the two
-backends produce byte-identical per-destination wire columns,
-bitwise-identical rebuilt tables, and identical membership decisions.
-The one corner where they differ is unreachable by the protocol: a
-received batch whose *first* record for a module carries
-``is_sent=True`` (the dict path stores the record's numbers, the array
-path keeps the association with zero mass) — :meth:`prepare_swap`
-always emits a module's first record per destination with
-``is_sent=False``, so protocol traffic never exercises it.
-
-Within a round the accumulation *order* is pinned so both backends add
-the same floats in the same sequence: own contribution first, then
-received batches in ascending source order (``np.bincount`` on an
-inverse permutation accumulates each bin sequentially in entry order,
-matching the dict ``+=`` loop to the last bit — the same fact
-:mod:`repro.core.kernels` relies on).
+Determinism contract (tested): within a round the accumulation *order*
+is pinned — own contribution first, then received batches in ascending
+source order (which :meth:`Communicator.exchange` guarantees).
+``np.bincount`` on an inverse permutation accumulates each bin
+sequentially in entry order, so the folded floats are reproducible to
+the last bit regardless of rank count or transport — the same fact
+:mod:`repro.core.kernels` relies on.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -80,13 +70,11 @@ _EMPTY_F64 = np.empty(0, dtype=np.float64)
 class TableArrays:
     """Array-backed snapshot of a rank's module table.
 
-    With the dict backend this is built per batch-scoring chunk so the
-    batched move kernel can resolve thousands of ``(q_m, p_m)`` lookups
-    with two ``searchsorted`` calls instead of a Python loop; with the
-    array backend it is a *live view* of the :class:`ModuleTable`
-    columns (near-free to produce).  Values are the exact stored table
-    floats (missing modules read as 0.0, same as the dict
-    ``.get(m, 0.0)`` convention).
+    A *live view* of the :class:`ModuleTable` columns (near-free to
+    produce) that lets the batched move kernel resolve thousands of
+    ``(q_m, p_m)`` lookups with two ``searchsorted`` calls instead of a
+    Python loop.  Values are the exact stored table floats (missing
+    modules read as 0.0).
     """
 
     mod_ids: np.ndarray  # int64[k], sorted
@@ -331,6 +319,34 @@ class ModuleTable:
         return (q_old_after - q_old) + (q_new_after - q_new)
 
 
+class _TableColumnView(Mapping):
+    """Read-only ``{module id → value}`` view of one table column.
+
+    Keeps the historical dict-style read API (``st.table_sum_p[m]``,
+    ``dict(st.table_exit)``, ``m in st.table_members``) alive over the
+    live :class:`ModuleTable` without materializing anything.  Covers
+    overflow entries too, so a module inserted by a mid-round move is
+    immediately visible.
+    """
+
+    __slots__ = ("_table", "_get")
+
+    def __init__(self, table: ModuleTable, getter) -> None:
+        self._table = table
+        self._get = getter
+
+    def __getitem__(self, mod_id: int):
+        if mod_id not in self._table:
+            raise KeyError(mod_id)
+        return self._get(mod_id)
+
+    def __iter__(self):
+        return iter(self._table._pos)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
 class LocalModuleState:
     """One rank's module bookkeeping for one clustering level.
 
@@ -341,32 +357,18 @@ class LocalModuleState:
     * build/refresh the module *table* (estimates used by ΔL),
     * produce and consume Algorithm-3 message batches,
     * track which modules are *boundary* (min-label rule applies).
-
-    ``backend`` selects the table/protocol implementation (see the
-    module docstring); ``"dict"`` is the default here so direct
-    constructions (tests, docs) get the oracle, while the distributed
-    driver passes ``cfg.table_backend`` (default ``"array"``).
     """
 
-    def __init__(self, lg: LocalGraph, backend: str = "dict") -> None:
-        if backend not in ("array", "dict"):
-            raise ValueError(f"unknown table backend {backend!r}")
+    def __init__(self, lg: LocalGraph) -> None:
         self.lg = lg
-        self.backend = backend
         # Singleton initialization: every vertex its own module, module
         # id = global vertex id (Algorithm 1 lines 7-11).
         self.module_of = lg.global_of.copy()
-        # Delta-swap state (dict backend): what each peer last told us
-        # (absolute contributions, replace-on-receipt) and what we last
-        # shipped.
-        self._peer_contrib: dict[int, dict[int, tuple[float, float, int]]] = {}
-        self._last_sent: dict[int, tuple[float, float, int]] = {}
-        self._sent_pairs: set[tuple[int, int]] = set()
         self._synced_boundary: np.ndarray | None = None
-        # Delta-swap state (array backend): same roles, columnar — the
-        # peer caches are sorted (ids, sum_p, exit, members) columns,
-        # the last-shipped contribution is a sorted column set, and the
-        # per-destination sent-module sets are sorted id arrays.
+        # Delta-swap state, columnar: the peer caches are sorted
+        # (ids, sum_p, exit, members) columns, the last-shipped
+        # contribution is a sorted column set, and the per-destination
+        # sent-module sets are sorted id arrays.
         self._peer_cols: dict[
             int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = {}
@@ -384,36 +386,35 @@ class LocalModuleState:
             np.arange(lg.num_sources, dtype=np.int64), np.diff(lg.indptr)
         )
         # The table: global-estimate aggregates per module id.
-        if backend == "array":
-            self.table_sum_p = None
-            self.table_exit = None
-            self.table_members = None
-            self._table = ModuleTable()
-            ghost_gids = lg.global_of[lg.ghost_slice()]
-            self._ghosts_sorted = bool(
-                ghost_gids.size == 0
-                or np.all(ghost_gids[:-1] <= ghost_gids[1:])
-            )
-        else:
-            self.table_sum_p: dict[int, float] = {}
-            self.table_exit: dict[int, float] = {}
-            self.table_members: dict[int, int] = {}
-            self._table = None
+        self._table = ModuleTable()
+        ghost_gids = lg.global_of[lg.ghost_slice()]
+        self._ghosts_sorted = bool(
+            ghost_gids.size == 0
+            or np.all(ghost_gids[:-1] <= ghost_gids[1:])
+        )
         self.sum_exit_global: float = 0.0
 
-    def table_getters(self):
-        """``(get_q, get_p, get_n)`` scalar accessors, backend-neutral.
+    # -- dict-style read views over the live table ------------------------
+    @property
+    def table_exit(self) -> _TableColumnView:
+        return _TableColumnView(self._table, self._table.get_q)
 
-        Each is called as ``get(mod_id, default)`` — dict ``.get``
-        bound methods or the :class:`ModuleTable` accessors.
+    @property
+    def table_sum_p(self) -> _TableColumnView:
+        return _TableColumnView(self._table, self._table.get_p)
+
+    @property
+    def table_members(self) -> _TableColumnView:
+        return _TableColumnView(self._table, self._table.get_n)
+
+    def table_getters(self):
+        """``(get_q, get_p, get_n)`` scalar accessors.
+
+        Each is called as ``get(mod_id, default)`` — the
+        :class:`ModuleTable` accessors, bound.
         """
-        if self.backend == "array":
-            t = self._table
-            return t.get_q, t.get_p, t.get_n
-        return (
-            self.table_exit.get, self.table_sum_p.get,
-            self.table_members.get,
-        )
+        t = self._table
+        return t.get_q, t.get_p, t.get_n
 
     # -- exact local facts --------------------------------------------------
     def contribution(self) -> Contribution:
@@ -473,75 +474,34 @@ class LocalModuleState:
                 data (flow / exit0), so round 0 can score moves before
                 any info has been swapped.
         """
-        if self.backend == "array":
-            batches = []
-            for batch in received:
-                if isinstance(batch, tuple):
-                    ids, sp, ex, nm, snt = batch
-                else:
-                    ids = np.asarray(
-                        [i.mod_id for i in batch], dtype=np.int64
-                    )
-                    sp = np.asarray([i.sum_pr for i in batch])
-                    ex = np.asarray([i.exit_pr for i in batch])
-                    nm = np.asarray(
-                        [i.num_members for i in batch], dtype=np.int64
-                    )
-                    snt = np.asarray(
-                        [i.is_sent for i in batch], dtype=bool
-                    )
-                # is_sent rows keep the id in the union (the receiver
-                # keeps the association) but add zero mass (line 29).
-                live = ~np.asarray(snt, dtype=bool)
-                batches.append((
-                    np.asarray(ids, dtype=np.int64),
-                    np.where(live, sp, 0.0),
-                    np.where(live, ex, 0.0),
-                    np.where(live, nm, 0),
-                ))
-            self._rebuild_array(
-                own, batches, ghost_singletons=ghost_singletons
-            )
-            return
-        self.table_sum_p = dict(zip(own.mod_ids.tolist(), own.sum_p.tolist()))
-        self.table_exit = dict(zip(own.mod_ids.tolist(), own.exit.tolist()))
-        self.table_members = dict(
-            zip(own.mod_ids.tolist(), own.members.tolist())
-        )
+        batches = []
         for batch in received:
             if isinstance(batch, tuple):
-                infos = zip(
-                    batch[0].tolist(), batch[1].tolist(),
-                    batch[2].tolist(), batch[3].tolist(),
-                    batch[4].tolist(),
-                )
+                ids, sp, ex, nm, snt = batch
             else:
-                infos = (
-                    (i.mod_id, i.sum_pr, i.exit_pr, i.num_members, i.is_sent)
-                    for i in batch
+                ids = np.asarray(
+                    [i.mod_id for i in batch], dtype=np.int64
                 )
-            for m, sum_pr, exit_pr, num_members, is_sent in infos:
-                if m not in self.table_sum_p:
-                    # "Build a new module according to m" (line 24).
-                    self.table_sum_p[m] = sum_pr
-                    self.table_exit[m] = exit_pr
-                    self.table_members[m] = num_members
-                elif not is_sent:
-                    # "Add the information of m" (line 27).
-                    self.table_sum_p[m] += sum_pr
-                    self.table_exit[m] += exit_pr
-                    self.table_members[m] += num_members
-                # else: duplicate within the round — skip (line 29).
-        if ghost_singletons:
-            lg = self.lg
-            # A remote vertex still in its singleton module that no
-            # neighbour reported on: its aggregates are known statically.
-            for li in range(lg.num_owned, lg.num_local):
-                m = int(self.module_of[li])
-                if m == int(lg.global_of[li]) and m not in self.table_sum_p:
-                    self.table_sum_p[m] = float(lg.flow[li])
-                    self.table_exit[m] = float(lg.exit0[li])
-                    self.table_members[m] = 1
+                sp = np.asarray([i.sum_pr for i in batch])
+                ex = np.asarray([i.exit_pr for i in batch])
+                nm = np.asarray(
+                    [i.num_members for i in batch], dtype=np.int64
+                )
+                snt = np.asarray(
+                    [i.is_sent for i in batch], dtype=bool
+                )
+            # is_sent rows keep the id in the union (the receiver
+            # keeps the association) but add zero mass (line 29).
+            live = ~np.asarray(snt, dtype=bool)
+            batches.append((
+                np.asarray(ids, dtype=np.int64),
+                np.where(live, sp, 0.0),
+                np.where(live, ex, 0.0),
+                np.where(live, nm, 0),
+            ))
+        self._rebuild_array(
+            own, batches, ghost_singletons=ghost_singletons
+        )
 
     def _rebuild_array(
         self,
@@ -613,51 +573,20 @@ class LocalModuleState:
     def table_arrays(self) -> TableArrays:
         """Sorted-column view of the table (see :class:`TableArrays`).
 
-        Array backend: compacts the overflow and returns the live
-        columns (no copy).  Dict backend: snapshots the dicts —
-        ``table_exit``'s key set is the authoritative module list (the
-        rebuild paths populate all three dicts together); ``sum_p`` /
-        ``members`` are read through ``.get`` so a hypothetical
-        exit-only entry still resolves to the same values the scalar
-        path would read.
+        Compacts the overflow and returns the live columns (no copy).
         """
-        if self.backend == "array":
-            self._table.compact()
-            t = self._table
-            return TableArrays(
-                mod_ids=t.ids, exit=t.exit, sum_p=t.sum_p,
-                members=t.members,
-            )
-        k = len(self.table_exit)
-        ids = np.fromiter(self.table_exit, dtype=np.int64, count=k)
-        q = np.fromiter(self.table_exit.values(), dtype=np.float64, count=k)
-        gp = self.table_sum_p.get
-        p = np.fromiter(
-            (gp(m, 0.0) for m in self.table_exit), dtype=np.float64, count=k
-        )
-        gn = self.table_members.get
-        n = np.fromiter(
-            (gn(m, 0) for m in self.table_exit), dtype=np.int64, count=k
-        )
-        srt = np.argsort(ids)
+        self._table.compact()
+        t = self._table
         return TableArrays(
-            mod_ids=ids[srt], exit=q[srt], sum_p=p[srt], members=n[srt]
+            mod_ids=t.ids, exit=t.exit, sum_p=t.sum_p,
+            members=t.members,
         )
 
     def table_lookup(
         self, mod_ids: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized (q_m, p_m) lookups for candidate modules."""
-        if self.backend == "array":
-            return self.table_arrays().lookup(mod_ids)
-        q = np.empty(mod_ids.size)
-        p = np.empty(mod_ids.size)
-        ge = self.table_exit.get
-        gp = self.table_sum_p.get
-        for i, m in enumerate(mod_ids.tolist()):
-            q[i] = ge(m, 0.0)
-            p[i] = gp(m, 0.0)
-        return q, p
+        return self.table_arrays().lookup(mod_ids)
 
     def apply_local_move(
         self,
@@ -684,27 +613,9 @@ class LocalModuleState:
         if old == new_module:
             return
         self.module_of[local_idx] = new_module
-        if self.backend == "array":
-            self.sum_exit_global += self._table.apply_move(
-                old, new_module, p_u=p_u, x_u=x_u, d_old=d_old, d_new=d_new
-            )
-            return
-        if old not in self.table_exit:
-            raise KeyError(
-                f"apply_local_move out of unknown module {old}: the "
-                f"mover's own mass should have placed it in the table"
-            )
-        q_old = self.table_exit[old]
-        q_new = self.table_exit.get(new_module, 0.0)
-        q_old_after = q_old - x_u + 2.0 * d_old
-        q_new_after = q_new + x_u - 2.0 * d_new
-        self.sum_exit_global += (q_old_after - q_old) + (q_new_after - q_new)
-        self.table_exit[old] = q_old_after
-        self.table_exit[new_module] = q_new_after
-        self.table_sum_p[old] = self.table_sum_p.get(old, 0.0) - p_u
-        self.table_sum_p[new_module] = self.table_sum_p.get(new_module, 0.0) + p_u
-        self.table_members[old] = self.table_members[old] - 1
-        self.table_members[new_module] = self.table_members.get(new_module, 0) + 1
+        self.sum_exit_global += self._table.apply_move(
+            old, new_module, p_u=p_u, x_u=x_u, d_old=d_old, d_new=d_new
+        )
 
     # -- Algorithm 3: prepare outgoing batches -----------------------------------
     def _own_lookup(
@@ -744,11 +655,10 @@ class LocalModuleState:
         the numbers) — List 1's dedup mechanism, preserved verbatim so
         the ablation can disable it.
 
-        The array backend builds the per-destination columns with a
-        group-by over ``boundary_local``/``boundary_ranks`` instead of
-        per-vertex ``emit()`` calls; the emission order (sorted moved
-        hub modules first, then boundary vertices in boundary order) is
-        identical, so the wire bytes are too.
+        The per-destination columns come from a group-by over
+        ``boundary_local``/``boundary_ranks``; the emission order is
+        sorted moved hub modules first, then boundary vertices in
+        boundary order — deterministic, so the wire bytes are too.
 
         Args:
             as_arrays: ship each batch as the column-array wire form
@@ -756,71 +666,16 @@ class LocalModuleState:
                 (default; the List-1 struct-of-arrays).  ``False``
                 returns ``list[ModuleInfo]`` records (tests, docs).
         """
-        if self.backend == "array" and as_arrays:
-            return self._prepare_swap_array(own, moved_hub_modules)
-        lg = self.lg
-        cols: dict[int, list[tuple[int, float, float, int, bool]]] = {
-            int(r): [] for r in lg.neighbor_ranks
+        out = self._prepare_swap_array(own, moved_hub_modules)
+        if as_arrays:
+            return out
+        return {
+            dest: [
+                ModuleInfo(int(m), float(sp), float(ex), int(nm), bool(snt))
+                for m, sp, ex, nm, snt in zip(*cols)
+            ]
+            for dest, cols in out.items()
         }
-        sent: set[tuple[int, int]] = set()
-
-        def emit(dest: int, mod_id: int) -> None:
-            key = (dest, mod_id)
-            already = key in sent
-            sent.add(key)
-            if already:
-                cols[dest].append((mod_id, 0.0, 0.0, 0, True))
-                return
-            pos = own.index_of(mod_id)
-            if pos >= 0:
-                cols[dest].append(
-                    (
-                        mod_id,
-                        float(own.sum_p[pos]),
-                        float(own.exit[pos]),
-                        int(own.members[pos]),
-                        False,
-                    )
-                )
-            else:
-                # No local contribution (e.g. the module only touches
-                # this rank through a delegate copy) — still announce
-                # the membership association with zero mass.
-                cols[dest].append((mod_id, 0.0, 0.0, 0, False))
-
-        # Hubs whose consensus move won this round (lines 2-9).
-        if moved_hub_modules:
-            for dest in cols:
-                for m in sorted(moved_hub_modules):
-                    emit(dest, m)
-        # Boundary vertices (lines 10-19).
-        for bl, ranks in zip(self.lg.boundary_local, self.lg.boundary_ranks):
-            m = int(self.module_of[bl])
-            for dest in ranks.tolist():
-                emit(int(dest), m)
-
-        if not as_arrays:
-            return {
-                dest: [ModuleInfo(*row) for row in rows]
-                for dest, rows in cols.items()
-            }
-        out: dict[int, object] = {}
-        for dest, rows in cols.items():
-            if not rows:
-                out[dest] = (
-                    np.empty(0, np.int64), np.empty(0), np.empty(0),
-                    np.empty(0, np.int64), np.empty(0, bool),
-                )
-                continue
-            ids, sp, ex, nm, snt = zip(*rows)
-            out[dest] = (
-                np.asarray(ids, dtype=np.int64),
-                np.asarray(sp),
-                np.asarray(ex),
-                np.asarray(nm, dtype=np.int64),
-                np.asarray(snt, dtype=bool),
-            )
-        return out
 
     def _prepare_swap_array(
         self,
@@ -883,70 +738,7 @@ class LocalModuleState:
         ``(mod_ids, sum_pr, exit_pr, num_members)`` (no ``is_sent``
         column — replace semantics make it moot).
         """
-        if self.backend == "array":
-            return self._prepare_swap_delta_array(own, moved_hub_modules)
-        lg = self.lg
-        # Which of my modules' contributions changed since last round?
-        changed: set[int] = set()
-        current: dict[int, tuple[float, float, int]] = {}
-        for i, m in enumerate(own.mod_ids.tolist()):
-            val = (float(own.sum_p[i]), float(own.exit[i]),
-                   int(own.members[i]))
-            current[m] = val
-            if self._last_sent.get(m) != val:
-                changed.add(m)
-        # Modules that vanished from my contribution must be zeroed at
-        # peers that have them cached.
-        vanished = {
-            m for m in self._last_sent if m not in current
-        }
-        self._last_sent = current
-
-        out: dict[int, list[tuple[int, float, float, int]]] = {
-            int(r): [] for r in lg.neighbor_ranks
-        }
-        emitted: set[tuple[int, int]] = set()
-
-        def emit(dest: int, m: int) -> None:
-            key = (dest, m)
-            if key in emitted:
-                return
-            is_new = key not in self._sent_pairs
-            if m not in changed and m not in vanished and not is_new:
-                return
-            emitted.add(key)
-            self._sent_pairs.add(key)
-            val = current.get(m, (0.0, 0.0, 0))
-            out[dest].append((m, val[0], val[1], val[2]))
-
-        if moved_hub_modules:
-            for dest in out:
-                for m in sorted(moved_hub_modules):
-                    emit(dest, m)
-        for bl, ranks in zip(lg.boundary_local, lg.boundary_ranks):
-            m = int(self.module_of[bl])
-            for dest in ranks.tolist():
-                emit(int(dest), m)
-        # Vanished modules go to every peer that ever received them
-        # (ascending id — canonical order shared with the array
-        # backend's wire).
-        for m in sorted(vanished):
-            for dest in out:
-                if (dest, m) in self._sent_pairs:
-                    emit(dest, m)
-
-        result: dict[int, tuple[np.ndarray, ...]] = {}
-        for dest, rows in out.items():
-            if not rows:
-                continue
-            ids, sp, ex, nm = zip(*rows)
-            result[dest] = (
-                np.asarray(ids, dtype=np.int64),
-                np.asarray(sp),
-                np.asarray(ex),
-                np.asarray(nm, dtype=np.int64),
-            )
-        return result
+        return self._prepare_swap_delta_array(own, moved_hub_modules)
 
     def _prepare_swap_delta_array(
         self,
@@ -1015,65 +807,34 @@ class LocalModuleState:
         received: "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]",
     ) -> None:
         """Replace the cached contributions the senders refreshed."""
-        if self.backend == "array":
-            for src, (ids, sp, ex, nm) in received.items():
-                old = self._peer_cols.get(src)
-                if old is not None and old[0].size:
-                    stay = ~np.isin(old[0], ids)
-                    ids = np.concatenate([old[0][stay], ids])
-                    sp = np.concatenate([old[1][stay], sp])
-                    ex = np.concatenate([old[2][stay], ex])
-                    nm = np.concatenate([old[3][stay], nm])
-                srt = np.argsort(ids, kind="stable")
-                self._peer_cols[src] = (
-                    ids[srt], sp[srt], ex[srt], nm[srt]
-                )
-            return
         for src, (ids, sp, ex, nm) in received.items():
-            cache = self._peer_contrib.setdefault(src, {})
-            for i, m in enumerate(ids.tolist()):
-                cache[m] = (float(sp[i]), float(ex[i]), int(nm[i]))
+            old = self._peer_cols.get(src)
+            if old is not None and old[0].size:
+                stay = ~np.isin(old[0], ids)
+                ids = np.concatenate([old[0][stay], ids])
+                sp = np.concatenate([old[1][stay], sp])
+                ex = np.concatenate([old[2][stay], ex])
+                nm = np.concatenate([old[3][stay], nm])
+            srt = np.argsort(ids, kind="stable")
+            self._peer_cols[src] = (
+                ids[srt], sp[srt], ex[srt], nm[srt]
+            )
 
     def rebuild_table_from_caches(
         self, own: Contribution, *, ghost_singletons: bool = True
     ) -> None:
         """Table = own contribution + every peer's cached contribution.
 
-        Peers are folded in ascending source-rank order on both
-        backends so the per-module accumulation sequence (and hence
-        every float, bitwise) is identical between them.
+        Peers are folded in ascending source-rank order so the
+        per-module accumulation sequence (and hence every float,
+        bitwise) is independent of message arrival order.
         """
-        if self.backend == "array":
-            batches = [
-                self._peer_cols[src] for src in sorted(self._peer_cols)
-            ]
-            self._rebuild_array(
-                own, batches, ghost_singletons=ghost_singletons
-            )
-            return
-        self.table_sum_p = dict(zip(own.mod_ids.tolist(), own.sum_p.tolist()))
-        self.table_exit = dict(zip(own.mod_ids.tolist(), own.exit.tolist()))
-        self.table_members = dict(
-            zip(own.mod_ids.tolist(), own.members.tolist())
+        batches = [
+            self._peer_cols[src] for src in sorted(self._peer_cols)
+        ]
+        self._rebuild_array(
+            own, batches, ghost_singletons=ghost_singletons
         )
-        for src in sorted(self._peer_contrib):
-            for m, (sp, ex, nm) in self._peer_contrib[src].items():
-                if m in self.table_sum_p:
-                    self.table_sum_p[m] += sp
-                    self.table_exit[m] += ex
-                    self.table_members[m] += nm
-                else:
-                    self.table_sum_p[m] = sp
-                    self.table_exit[m] = ex
-                    self.table_members[m] = nm
-        if ghost_singletons:
-            lg = self.lg
-            for li in range(lg.num_owned, lg.num_local):
-                m = int(self.module_of[li])
-                if m == int(lg.global_of[li]) and m not in self.table_sum_p:
-                    self.table_sum_p[m] = float(lg.flow[li])
-                    self.table_exit[m] = float(lg.exit0[li])
-                    self.table_members[m] = 1
 
     def prepare_membership_sync_delta(
         self,
@@ -1084,70 +845,33 @@ class LocalModuleState:
             # First sync: everything is "changed" relative to nothing.
             self._synced_boundary = np.full(lg.boundary_local.size, -1,
                                             dtype=np.int64)
-        if self.backend == "array":
-            bl_mods = self.module_of[lg.boundary_local]
-            moved = bl_mods != self._synced_boundary
-            self._synced_boundary[moved] = bl_mods[moved]
-            groups = lg.boundary_groups()
-            out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-            for dest, pos in groups.items():
-                sel = pos[moved[pos]]
-                if sel.size == 0:
-                    continue
-                out[dest] = (
-                    lg.global_of[lg.boundary_local[sel]],
-                    bl_mods[sel],
-                )
-            return out
-        out: dict[int, tuple[list[int], list[int]]] = {}
-        for i, (bl, ranks) in enumerate(
-            zip(lg.boundary_local, lg.boundary_ranks)
-        ):
-            mod = int(self.module_of[bl])
-            if mod == int(self._synced_boundary[i]):
+        bl_mods = self.module_of[lg.boundary_local]
+        moved = bl_mods != self._synced_boundary
+        self._synced_boundary[moved] = bl_mods[moved]
+        groups = lg.boundary_groups()
+        out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for dest, pos in groups.items():
+            sel = pos[moved[pos]]
+            if sel.size == 0:
                 continue
-            self._synced_boundary[i] = mod
-            gid = int(lg.global_of[bl])
-            for dest in ranks.tolist():
-                gids, mods = out.setdefault(int(dest), ([], []))
-                gids.append(gid)
-                mods.append(mod)
-        return {
-            dest: (
-                np.asarray(gids, dtype=np.int64),
-                np.asarray(mods, dtype=np.int64),
+            out[dest] = (
+                lg.global_of[lg.boundary_local[sel]],
+                bl_mods[sel],
             )
-            for dest, (gids, mods) in out.items()
-        }
+        return out
 
     # -- boundary membership sync --------------------------------------------------
     def prepare_membership_sync(self) -> "dict[int, tuple[np.ndarray, np.ndarray]]":
         """Per ghosting rank: ``(global vertex ids, module ids)`` arrays."""
         lg = self.lg
-        if self.backend == "array":
-            bl_mods = self.module_of[lg.boundary_local]
-            groups = lg.boundary_groups()
-            return {
-                dest: (
-                    lg.global_of[lg.boundary_local[pos]],
-                    bl_mods[pos],
-                )
-                for dest, pos in groups.items()
-            }
-        out: dict[int, tuple[list[int], list[int]]] = {}
-        for bl, ranks in zip(lg.boundary_local, lg.boundary_ranks):
-            gid = int(lg.global_of[bl])
-            mod = int(self.module_of[bl])
-            for dest in ranks.tolist():
-                gids, mods = out.setdefault(int(dest), ([], []))
-                gids.append(gid)
-                mods.append(mod)
+        bl_mods = self.module_of[lg.boundary_local]
+        groups = lg.boundary_groups()
         return {
             dest: (
-                np.asarray(gids, dtype=np.int64),
-                np.asarray(mods, dtype=np.int64),
+                lg.global_of[lg.boundary_local[pos]],
+                bl_mods[pos],
             )
-            for dest, (gids, mods) in out.items()
+            for dest, pos in groups.items()
         }
 
     def apply_membership_sync(
@@ -1161,7 +885,7 @@ class LocalModuleState:
         changed — the active-set pruning needs exactly that signal.
         """
         lg = self.lg
-        if self.backend == "array" and self._ghosts_sorted:
+        if self._ghosts_sorted:
             ghost_base = lg.num_owned + lg.num_hubs
             ghost_gids = lg.global_of[lg.ghost_slice()]
             changed: list[int] = []

@@ -38,6 +38,13 @@ from .errors import (
 from .serial import SerialCommunicator
 from .stats import CommLedger, PhaseBytes, RankStats, payload_nbytes
 from .threadcomm import JobContext, Mailbox, ThreadCommunicator
+from .wire import (
+    FrameError,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -48,6 +55,7 @@ __all__ = [
     "Communicator",
     "CostAccumulator",
     "DeadlockError",
+    "FrameError",
     "InvalidRankError",
     "InvalidTagError",
     "JobContext",
@@ -61,6 +69,10 @@ __all__ = [
     "SpmdResult",
     "StepCost",
     "ThreadCommunicator",
+    "decode_frame",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
     "ledger_comm_time",
     "payload_nbytes",
     "resolve_op",

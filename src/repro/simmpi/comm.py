@@ -20,6 +20,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Mapping, Sequence
 
+import numpy as np
+
 from .stats import RankStats
 
 __all__ = [
@@ -188,29 +190,70 @@ class Communicator(ABC):
         """Personalized all-to-all: rank *i* receives ``objs_j[i]`` from
         every rank *j* (mpi4py: ``alltoall``)."""
 
-    # -- sparse neighbour exchange -------------------------------------------
-    def exchange(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
-        """Sparse personalized exchange: send ``msgs[dest]`` to each *dest*,
-        return ``{src: payload}`` for every rank that addressed us.
+    # -- variable-length array gather -----------------------------------------
+    def allgatherv(
+        self, cols: Sequence[Any]
+    ) -> "tuple[tuple[Any, ...], Any]":
+        """Gather variable-length column tuples from all ranks
+        (mpi4py: ``Allgatherv`` per column, with an ``allgather`` of
+        counts first).
 
-        This is the primitive behind the paper's *Swap Boundary
-        Information* step.  On a real cluster it maps onto
-        ``isend``/``irecv`` pairs (or ``MPI_Neighbor_alltoallv``); here
-        it is implemented over :meth:`alltoall` with ``None`` holes so
-        the default implementation is deadlock-free by construction.
-        Only the non-``None`` entries are metered.
+        Every rank contributes a tuple of equal-length 1-D arrays;
+        returns ``(concatenated_columns, counts)`` where column *k* is
+        the rank-order concatenation of every rank's ``cols[k]`` and
+        ``counts[r]`` is rank *r*'s contribution length — enough to
+        attribute each row to its source rank via
+        ``np.repeat(np.arange(size), counts)``.
         """
-        out: list[Any] = [None] * self.size
-        for dest, payload in msgs.items():
+        parts = self.allgather(tuple(cols))
+        counts = np.array(
+            [(p[0].size if len(p) else 0) for p in parts], dtype=np.int64
+        )
+        ncols = len(parts[0]) if parts else 0
+        cat = tuple(
+            np.concatenate([p[k] for p in parts]) for k in range(ncols)
+        )
+        return cat, counts
+
+    # -- sparse neighbour exchange -------------------------------------------
+    def _check_exchange_dests(self, msgs: Mapping[int, Any]) -> None:
+        for dest in msgs:
             if not (0 <= dest < self.size):
                 from .errors import InvalidRankError
 
                 raise InvalidRankError(dest, self.size)
             if dest == self.rank:
                 raise ValueError("exchange() does not support self-sends")
+
+    def exchange_dense(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
+        """Sparse personalized exchange over a dense :meth:`alltoall`
+        with ``None`` holes — O(p) board slots per rank regardless of
+        how sparse the pattern is, but deadlock-free by construction.
+        Only the non-``None`` entries are metered.  Kept as the oracle
+        for the sparse point-to-point implementation.
+        """
+        out: list[Any] = [None] * self.size
+        self._check_exchange_dests(msgs)
+        for dest, payload in msgs.items():
             out[dest] = payload
         incoming = self.alltoall(out)
         return {src: p for src, p in enumerate(incoming) if p is not None}
+
+    def exchange(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
+        """Sparse personalized exchange: send ``msgs[dest]`` to each *dest*,
+        return ``{src: payload}`` for every rank that addressed us, in
+        ascending source order.
+
+        This is the primitive behind the paper's *Swap Boundary
+        Information* step.  On a real cluster it maps onto
+        ``isend``/``irecv`` pairs (or ``MPI_Neighbor_alltoallv``); the
+        base implementation uses the dense :meth:`exchange_dense` path;
+        :class:`~repro.simmpi.threadcomm.ThreadCommunicator` overrides
+        it with true point-to-point sends so only real traffic moves
+        and is metered.  Like the collectives, ``exchange`` must be
+        called by every rank (possibly with an empty mapping).
+        """
+        return self.exchange_dense(msgs)
 
 
 class Request:

@@ -63,7 +63,7 @@ def run_spmd(
     *,
     fn_args: Sequence[Any] = (),
     fn_kwargs: dict[str, Any] | None = None,
-    copy_mode: str = "pickle",
+    copy_mode: str = "frames",
     timeout: float = 300.0,
     op_timeout: float = 60.0,
 ) -> SpmdResult:
@@ -76,10 +76,13 @@ def run_spmd(
             the communicator, as one would with real MPI).
         nranks: number of ranks.  ``1`` short-circuits to a
             :class:`SerialCommunicator` on the calling thread.
-        copy_mode: ``"pickle"`` (default) round-trips every payload
-            through pickle for true distributed-memory isolation and
-            exact wire-byte accounting; ``"none"`` passes references
-            (fast, trusted code only).
+        copy_mode: ``"frames"`` (default) encodes every payload with
+            the typed frame codec (:mod:`repro.simmpi.wire`) — numpy
+            columns cross as raw aligned blobs, one copy out, zero
+            copies in; ``"pickle"`` round-trips through pickle (the
+            equivalence oracle, decoded values are identical);
+            ``"none"`` passes references (fast, trusted code only).
+            All three give exact wire-byte accounting.
         timeout: overall wall-clock budget for the job; exceeded ⇒
             :class:`DeadlockError` after tearing the ranks down.
         op_timeout: per-blocking-call budget inside ranks.
@@ -96,7 +99,7 @@ def run_spmd(
     kwargs = fn_kwargs or {}
 
     if nranks == 1:
-        comm = SerialCommunicator()
+        comm = SerialCommunicator(copy_mode=copy_mode)
         value = fn(comm, *fn_args, **kwargs)
         return SpmdResult(results=[value], ledger=comm.ledger)
 

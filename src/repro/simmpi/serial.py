@@ -5,6 +5,11 @@ suite proves "distributed == sequential" equivalences cheaply, and how
 users debug rank logic without thread interleavings in the way.
 Self-sends are supported (a rank may legally ``send`` to itself and
 ``recv`` it back); every collective is the identity.
+
+Loopback traffic is metered through the same
+:func:`~repro.simmpi.wire.encode_payload` hook the threaded runtime
+uses, so a 1-rank run reports the same per-message byte counts a
+``ThreadCommunicator`` rank would for identical sends.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Any, Sequence
 from .comm import ANY_SOURCE, ANY_TAG, Communicator, resolve_op
 from .errors import DeadlockError, InvalidRankError, InvalidTagError
 from .stats import CommLedger, RankStats
+from .wire import decode_payload, encode_payload
 
 __all__ = ["SerialCommunicator"]
 
@@ -22,10 +28,21 @@ __all__ = ["SerialCommunicator"]
 class SerialCommunicator(Communicator):
     """A communicator with ``size == 1`` and ``rank == 0``."""
 
-    def __init__(self, ledger: CommLedger | None = None) -> None:
+    def __init__(
+        self,
+        ledger: CommLedger | None = None,
+        *,
+        copy_mode: str = "frames",
+    ) -> None:
+        if copy_mode not in ("frames", "pickle", "none"):
+            raise ValueError(
+                "copy_mode must be 'frames', 'pickle' or 'none', "
+                f"got {copy_mode!r}"
+            )
         self._ledger = ledger if ledger is not None else CommLedger(1)
         self._stats = self._ledger.for_rank(0)
-        self._loopback: deque[tuple[int, Any]] = deque()
+        self._copy_mode = copy_mode
+        self._loopback: deque[tuple[int, Any, int]] = deque()
 
     @property
     def rank(self) -> int:
@@ -52,7 +69,9 @@ class SerialCommunicator(Communicator):
             raise InvalidRankError(dest, 1)
         if tag < 0:
             raise InvalidTagError(tag)
-        self._loopback.append((tag, obj))
+        wire, nbytes = encode_payload(obj, self._copy_mode, self._stats)
+        self._stats.record_send(nbytes)
+        self._loopback.append((tag, wire, nbytes))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         return self.recv_status(source, tag)[0]
@@ -62,10 +81,15 @@ class SerialCommunicator(Communicator):
     ) -> tuple[Any, int, int]:
         if source not in (ANY_SOURCE, 0):
             raise InvalidRankError(source, 1)
-        for i, (tg, obj) in enumerate(self._loopback):
+        for i, (tg, wire, nbytes) in enumerate(self._loopback):
             if tag in (ANY_TAG, tg):
                 del self._loopback[i]
-                return obj, 0, tg
+                self._stats.record_recv(nbytes)
+                return (
+                    decode_payload(wire, self._copy_mode, self._stats),
+                    0,
+                    tg,
+                )
         raise DeadlockError(
             f"recv(source={source}, tag={tag}) on a size-1 communicator "
             "with no matching loopback message would block forever"
@@ -77,10 +101,13 @@ class SerialCommunicator(Communicator):
         """Nonblocking matching probe backing :meth:`Request.test`."""
         if source not in (ANY_SOURCE, 0):
             raise InvalidRankError(source, 1)
-        for i, (tg, obj) in enumerate(self._loopback):
+        for i, (tg, wire, nbytes) in enumerate(self._loopback):
             if tag in (ANY_TAG, tg):
                 del self._loopback[i]
-                return True, obj
+                self._stats.record_recv(nbytes)
+                return True, decode_payload(
+                    wire, self._copy_mode, self._stats
+                )
         return False, None
 
     # -- collectives ------------------------------------------------------

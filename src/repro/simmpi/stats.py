@@ -12,11 +12,15 @@ Two levels of bookkeeping:
 * :class:`CommLedger` — the per-job collection of all ranks' stats plus
   aggregation helpers used by the cost model and the reports.
 
-Byte counts use :func:`payload_nbytes`, a cheap structural estimator
-that is exact for numpy arrays / bytes and a close structural estimate
-for plain Python containers.  When the engine runs with
-``copy_mode="pickle"`` the *pickled* size is used instead, which is the
-exact number of bytes a real mpi4py program would put on the wire.
+Two byte meters run side by side.  *Physical* wire bytes are the exact
+length of the encoded message the runtime actually passes between
+ranks — typed-frame bytes under ``copy_mode="frames"`` (the default),
+pickle bytes under ``copy_mode="pickle"``, and the structural
+:func:`payload_nbytes` estimate under ``copy_mode="none"`` (nothing is
+encoded there).  *Logical* bytes are the :func:`payload_nbytes`
+estimate in every mode, so frames-vs-pickle traffic comparisons are
+codec-independent by construction.  Codec wall time is metered
+separately (``encode_seconds_by_phase`` / ``decode_seconds_by_phase``).
 """
 
 from __future__ import annotations
@@ -100,6 +104,15 @@ class RankStats:
     barrier_calls: int = 0
     bytes_by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     messages_by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    logical_bytes_by_phase: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    encode_seconds_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    decode_seconds_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
     _phase: str = "default"
 
     def set_phase(self, phase: str) -> None:
@@ -130,6 +143,35 @@ class RankStats:
     def record_barrier(self) -> None:
         self.barrier_calls += 1
 
+    def record_logical(self, nbytes: int) -> None:
+        """Meter the transport-independent (logical) payload size.
+
+        Physical wire bytes depend on the codec (pickle framing vs the
+        typed-frame header); the logical size is the structural
+        :func:`payload_nbytes` estimate and is identical across copy
+        modes by construction, which is what makes frames-vs-pickle
+        traffic comparisons exact.
+        """
+        self.logical_bytes_by_phase[self._phase] += nbytes
+
+    def record_encode_seconds(self, seconds: float) -> None:
+        self.encode_seconds_by_phase[self._phase] += seconds
+
+    def record_decode_seconds(self, seconds: float) -> None:
+        self.decode_seconds_by_phase[self._phase] += seconds
+
+    @property
+    def total_logical_bytes(self) -> int:
+        return sum(self.logical_bytes_by_phase.values())
+
+    @property
+    def total_encode_seconds(self) -> float:
+        return sum(self.encode_seconds_by_phase.values())
+
+    @property
+    def total_decode_seconds(self) -> float:
+        return sum(self.decode_seconds_by_phase.values())
+
     @property
     def total_bytes_sent(self) -> int:
         """All bytes this rank pushed toward other ranks."""
@@ -153,6 +195,9 @@ class RankStats:
             "barrier_calls": self.barrier_calls,
             "bytes_by_phase": dict(self.bytes_by_phase),
             "messages_by_phase": dict(self.messages_by_phase),
+            "logical_bytes_by_phase": dict(self.logical_bytes_by_phase),
+            "encode_seconds_by_phase": dict(self.encode_seconds_by_phase),
+            "decode_seconds_by_phase": dict(self.decode_seconds_by_phase),
         }
 
 
@@ -164,6 +209,9 @@ class PhaseBytes:
     total_bytes: int
     max_rank_bytes: int
     total_messages: int
+    total_logical_bytes: int = 0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
 
 
 class CommLedger:
@@ -223,6 +271,34 @@ class CommLedger:
             total_bytes=sum(per_rank),
             max_rank_bytes=max(per_rank) if per_rank else 0,
             total_messages=msgs,
+            total_logical_bytes=sum(
+                s.logical_bytes_by_phase.get(phase, 0) for s in self._stats
+            ),
+            encode_seconds=sum(
+                s.encode_seconds_by_phase.get(phase, 0.0)
+                for s in self._stats
+            ),
+            decode_seconds=sum(
+                s.decode_seconds_by_phase.get(phase, 0.0)
+                for s in self._stats
+            ),
+        )
+
+    @property
+    def total_logical_bytes(self) -> int:
+        return sum(s.total_logical_bytes for s in self._stats)
+
+    @property
+    def max_serialization_seconds(self) -> float:
+        """Codec time on the busiest rank — encode plus decode.
+
+        Like bandwidth cost, serialization is bounded by the slowest
+        rank, so the modeled-time breakdown charges the max, not the
+        mean.
+        """
+        return max(
+            s.total_encode_seconds + s.total_decode_seconds
+            for s in self._stats
         )
 
     def snapshot(self) -> list[dict[str, Any]]:

@@ -1,23 +1,29 @@
 """Thread-backed communicator: one OS thread per rank, shared-nothing payloads.
 
 Distributed-memory isolation is what makes the simulation faithful: a
-payload is (by default) pickled at the sender and unpickled at each
-receiver, so ranks can never observe each other's mutations — exactly
-the property a real MPI job has, and the property that flushes out
-"accidentally worked because memory was shared" bugs in the algorithm.
+payload is encoded at the sender and decoded at each receiver (typed
+frames by default, pickle as the equivalence oracle — see
+:mod:`repro.simmpi.wire`), so ranks can never observe each other's
+mutations — exactly the property a real MPI job has, and the property
+that flushes out "accidentally worked because memory was shared" bugs
+in the algorithm.
 
-Blocking calls poll an abort flag so that when any rank raises, the
-whole job tears down with :class:`~.errors.AbortError` instead of
-hanging (``MPI_Abort`` semantics).
+Blocking receives are notify-driven: :meth:`Mailbox.put` and
+:meth:`JobContext.abort` both ``notify_all`` the mailbox condition, so
+a waiter wakes the moment a matching message (or an abort) can exist.
+The residual timed wait only bounds how late a rank notices an abort
+that raced its wait entry; it is not a message-poll interval.
 """
 
 from __future__ import annotations
 
 import itertools
-import pickle
 import threading
 from collections import deque
-from typing import Any, Sequence
+from time import monotonic as _monotonic
+from typing import Any, Mapping, Sequence
+
+import numpy as np
 
 from .comm import ANY_SOURCE, ANY_TAG, Communicator, resolve_op
 from .errors import (
@@ -27,12 +33,19 @@ from .errors import (
     InvalidRankError,
     InvalidTagError,
 )
-from .stats import CommLedger, RankStats, payload_nbytes
+from .stats import CommLedger, RankStats
+from .wire import decode_payload, encode_payload
 
 __all__ = ["JobContext", "ThreadCommunicator", "Mailbox"]
 
-#: How often blocking waits re-check the abort flag (seconds).
-_POLL_INTERVAL = 0.02
+#: Safety net for abort visibility (seconds).  Waiters are woken by
+#: ``notify_all`` on both message arrival and abort; this only bounds
+#: the window where an abort lands between the flag check and the wait.
+_ABORT_CHECK_INTERVAL = 0.25
+
+#: Reserved tag for the sparse :meth:`ThreadCommunicator.exchange`
+#: protocol; user code must not send with this tag.
+_EXCHANGE_TAG = 1 << 30
 
 
 class Mailbox:
@@ -83,18 +96,16 @@ class Mailbox:
                 if key is not None:
                     _seq, payload = self._queues[key].popleft()
                     return payload, key[0], key[1]
-                if deadline is not None and _monotonic() >= deadline:
+                if deadline is None:
+                    self._cond.wait(_ABORT_CHECK_INTERVAL)
+                    continue
+                remaining = deadline - _monotonic()
+                if remaining <= 0:
                     raise DeadlockError(
                         f"recv(source={source}, tag={tag}) timed out after "
                         f"{timeout:.1f}s with no matching message"
                     )
-                self._cond.wait(_POLL_INTERVAL)
-
-
-def _monotonic() -> float:
-    import time
-
-    return time.monotonic()
+                self._cond.wait(min(_ABORT_CHECK_INTERVAL, remaining))
 
 
 class JobContext:
@@ -111,13 +122,16 @@ class JobContext:
         self,
         size: int,
         *,
-        copy_mode: str = "pickle",
+        copy_mode: str = "frames",
         op_timeout: float = 60.0,
     ) -> None:
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
-        if copy_mode not in ("pickle", "none"):
-            raise ValueError(f"copy_mode must be 'pickle' or 'none', got {copy_mode!r}")
+        if copy_mode not in ("frames", "pickle", "none"):
+            raise ValueError(
+                "copy_mode must be 'frames', 'pickle' or 'none', "
+                f"got {copy_mode!r}"
+            )
         self.size = size
         self.copy_mode = copy_mode
         self.op_timeout = op_timeout
@@ -169,17 +183,16 @@ class JobContext:
         self.check_abort()
 
     # -- payload isolation -----------------------------------------------------
-    def encode(self, obj: Any) -> tuple[Any, int]:
-        """Prepare *obj* for crossing a rank boundary; return (wire, nbytes)."""
-        if self.copy_mode == "pickle":
-            wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            return wire, len(wire)
-        return obj, payload_nbytes(obj)
+    def encode(self, obj: Any, stats: RankStats | None = None) -> tuple[Any, int]:
+        """Prepare *obj* for crossing a rank boundary; return (wire, nbytes).
 
-    def decode(self, wire: Any) -> Any:
-        if self.copy_mode == "pickle":
-            return pickle.loads(wire)
-        return wire
+        With *stats*, the codec wall time and the logical payload size
+        are metered into the caller's current phase.
+        """
+        return encode_payload(obj, self.copy_mode, stats)
+
+    def decode(self, wire: Any, stats: RankStats | None = None) -> Any:
+        return decode_payload(wire, self.copy_mode, stats)
 
 
 class ThreadCommunicator(Communicator):
@@ -225,7 +238,7 @@ class ThreadCommunicator(Communicator):
         self._ctx.check_abort()
         self._check_peer(dest)
         self._check_tag(tag, allow_any=False)
-        wire, nbytes = self._ctx.encode(obj)
+        wire, nbytes = self._ctx.encode(obj, self._stats)
         self._stats.record_send(nbytes)
         self._ctx.mailboxes[dest].put(self._rank, tag, (wire, nbytes))
 
@@ -242,7 +255,7 @@ class ThreadCommunicator(Communicator):
             source, tag, timeout=self._ctx.op_timeout
         )
         self._stats.record_recv(nbytes)
-        return self._ctx.decode(wire), src, tg
+        return self._ctx.decode(wire, self._stats), src, tg
 
     def try_recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -259,7 +272,7 @@ class ThreadCommunicator(Communicator):
                 return False, None
             _seq, (wire, nbytes) = mb._queues[key].popleft()
         self._stats.record_recv(nbytes)
-        return True, self._ctx.decode(wire)
+        return True, self._ctx.decode(wire, self._stats)
 
     # -- collective plumbing -----------------------------------------------------
     def _collective_exchange(self, label: str, contribution: Any) -> list[Any]:
@@ -295,7 +308,7 @@ class ThreadCommunicator(Communicator):
             # Serialize and size the payload exactly once at the root;
             # receivers read both off the board instead of re-walking
             # the payload per rank.
-            wire, nbytes = self._ctx.encode(obj)
+            wire, nbytes = self._ctx.encode(obj, self._stats)
             # Root pushes size-1 copies outward (naive linear accounting;
             # the cost model applies a log(p) tree factor).
             self._stats.record_collective(nbytes * (self.size - 1), 0)
@@ -306,25 +319,25 @@ class ThreadCommunicator(Communicator):
         if self._rank != root:
             rwire, rbytes = board[root]
             self._stats.record_collective(0, rbytes)
-            return self._ctx.decode(rwire)
+            return self._ctx.decode(rwire, self._stats)
         return obj
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         self._check_peer(root)
-        wire, nbytes = self._ctx.encode(obj)
+        wire, nbytes = self._ctx.encode(obj, self._stats)
         board = self._collective_exchange(f"gather:{root}", (wire, nbytes))
         if self._rank == root:
             self._stats.record_collective(0, sum(n for _w, n in board) - nbytes)
-            return [self._ctx.decode(w) for w, _n in board]
+            return [self._ctx.decode(w, self._stats) for w, _n in board]
         self._stats.record_collective(nbytes, 0)
         return None
 
     def allgather(self, obj: Any) -> list[Any]:
-        wire, nbytes = self._ctx.encode(obj)
+        wire, nbytes = self._ctx.encode(obj, self._stats)
         board = self._collective_exchange("allgather", (wire, nbytes))
         recv_bytes = sum(n for _w, n in board) - nbytes
         self._stats.record_collective(nbytes * (self.size - 1), recv_bytes)
-        return [self._ctx.decode(w) for w, _n in board]
+        return [self._ctx.decode(w, self._stats) for w, _n in board]
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         self._check_peer(root)
@@ -334,7 +347,7 @@ class ThreadCommunicator(Communicator):
                     f"scatter root must pass exactly {self.size} objects, "
                     f"got {None if objs is None else len(objs)}"
                 )
-            wires = [self._ctx.encode(o) for o in objs]
+            wires = [self._ctx.encode(o, self._stats) for o in objs]
             sent = sum(n for _w, n in wires) - wires[self._rank][1]
             self._stats.record_collective(sent, 0)
             board = self._collective_exchange(f"scatter:{root}", wires)
@@ -344,31 +357,31 @@ class ThreadCommunicator(Communicator):
         wire, nbytes = wires[self._rank]
         if self._rank != root:
             self._stats.record_collective(0, nbytes)
-        return self._ctx.decode(wire)
+        return self._ctx.decode(wire, self._stats)
 
     def reduce(self, obj: Any, op: Any = "sum", root: int = 0) -> Any | None:
         self._check_peer(root)
         fn = resolve_op(op)
-        wire, nbytes = self._ctx.encode(obj)
+        wire, nbytes = self._ctx.encode(obj, self._stats)
         board = self._collective_exchange(f"reduce:{root}", (wire, nbytes))
         if self._rank == root:
             self._stats.record_collective(0, sum(n for _w, n in board) - nbytes)
-            acc = self._ctx.decode(board[0][0])
+            acc = self._ctx.decode(board[0][0], self._stats)
             for w, _n in board[1:]:
-                acc = fn(acc, self._ctx.decode(w))
+                acc = fn(acc, self._ctx.decode(w, self._stats))
             return acc
         self._stats.record_collective(nbytes, 0)
         return None
 
     def allreduce(self, obj: Any, op: Any = "sum") -> Any:
         fn = resolve_op(op)
-        wire, nbytes = self._ctx.encode(obj)
+        wire, nbytes = self._ctx.encode(obj, self._stats)
         board = self._collective_exchange("allreduce", (wire, nbytes))
         recv_bytes = sum(n for _w, n in board) - nbytes
         self._stats.record_collective(nbytes, recv_bytes)
-        acc = self._ctx.decode(board[0][0])
+        acc = self._ctx.decode(board[0][0], self._stats)
         for w, _n in board[1:]:
-            acc = fn(acc, self._ctx.decode(w))
+            acc = fn(acc, self._ctx.decode(w, self._stats))
         return acc
 
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
@@ -377,7 +390,8 @@ class ThreadCommunicator(Communicator):
                 f"alltoall needs exactly {self.size} entries, got {len(objs)}"
             )
         wires = [
-            None if o is None else self._ctx.encode(o) for o in objs
+            None if o is None else self._ctx.encode(o, self._stats)
+            for o in objs
         ]
         sent = sum(n for e in wires if e is not None for n in (e[1],) )
         nmsgs = sum(1 for i, e in enumerate(wires) if e is not None and i != self._rank)
@@ -388,10 +402,44 @@ class ThreadCommunicator(Communicator):
             entry = board[src][self._rank]
             if entry is not None:
                 wire, nbytes = entry
-                out[src] = self._ctx.decode(wire)
+                out[src] = self._ctx.decode(wire, self._stats)
                 if src != self._rank:
                     recv_bytes += nbytes
         # Meter each non-None outgoing entry as one message.
         self._stats.record_collective(sent, recv_bytes)
         self._stats.messages_by_phase[self._stats.phase] += max(nmsgs - 1, 0)
         return out
+
+    # -- sparse neighbour exchange ----------------------------------------
+    def exchange(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
+        """True point-to-point sparse exchange.
+
+        One framed message per actual destination instead of a dense
+        ``alltoall`` board: an int64 counts allreduce tells every rank
+        how many messages to expect (the handshake a real MPI port
+        needs too, unless the neighbourhood is known statically), then
+        each payload travels as a plain tagged send.  Only real traffic
+        is metered — ``p2p_messages_sent`` grows by exactly
+        ``len(msgs)``, not ``size - 1``.
+
+        The allreduce doubles as the inter-round barrier that makes the
+        protocol safe: a rank can only reach round *k+1*'s sends after
+        every rank has drained its round-*k* receives.  Results are
+        returned in ascending source order — consumers fold received
+        batches in dict order and the deterministic-trajectory tests
+        rely on it.
+        """
+        self._ctx.check_abort()
+        self._check_exchange_dests(msgs)
+        counts = np.zeros(self.size, dtype=np.int64)
+        for dest in msgs:
+            counts[dest] = 1
+        totals = self.allreduce(counts)
+        n_recv = int(totals[self._rank])
+        for dest in sorted(msgs):
+            self.send(msgs[dest], dest, tag=_EXCHANGE_TAG)
+        out: dict[int, Any] = {}
+        for _ in range(n_recv):
+            payload, src, _tag = self.recv_status(ANY_SOURCE, _EXCHANGE_TAG)
+            out[src] = payload
+        return {src: out[src] for src in sorted(out)}

@@ -39,12 +39,19 @@ def test_merge_bench_reports(tmp_path):
     (tmp_path / "BENCH_swap.json").write_text(
         json.dumps({"rows": [{"speedup": 3.5}]})
     )
+    (tmp_path / "BENCH_wire.json").write_text(
+        json.dumps({"rows": [
+            {"copy_mode": "pickle"},
+            {"copy_mode": "frames", "speedup": 2.8},
+        ]})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 2
-    assert sorted(report["benchmarks"]) == ["swap", "sweep"]
+    assert report["count"] == 3
+    assert sorted(report["benchmarks"]) == ["swap", "sweep", "wire"]
     assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5
+    assert report["benchmarks"]["wire"]["rows"][1]["speedup"] == 2.8
     assert json.loads(out.read_text()) == report
 
 

@@ -138,10 +138,15 @@ class TestInstrumentation:
         modeled = result.extras["modeled"]
         assert modeled["total"] > 0
         # "measurement" is reproduction instrumentation (the exact-L
-        # reduction) and is excluded from the modeled total.
+        # reduction) and "serialization" is the measured codec wall
+        # time of the simulator; both are excluded from the modeled
+        # total.
         parts = [v for k, v in modeled.items()
-                 if k not in ("total", "measurement")]
+                 if k not in ("total", "measurement", "serialization")]
         assert sum(parts) == pytest.approx(modeled["total"])
+        # The codec diagnostic is still surfaced, and nonzero: frames
+        # (the default) meter real encode/decode seconds.
+        assert modeled["serialization"] > 0.0
 
     def test_stage_split_recorded(self, result):
         assert 0 < result.extras["stage1_seconds_max"] <= (

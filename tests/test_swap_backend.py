@@ -1,12 +1,13 @@
-"""Array vs dict module-table backends: the equivalence contract.
+"""Module-table and swap-wire contracts after the dict-backend retirement.
 
-The array-backed :class:`ModuleTable` and the legacy dict triple must
-be indistinguishable from outside — identical memberships and
-bitwise-equal codelength trajectories end-to-end, byte-identical
-per-destination swap wire columns, and bitwise-equal rebuilt tables on
-any protocol-generated schedule.  The dict backend is the oracle; it
-stays one release exactly so these tests can prove the array backend
-against it.
+The array-backed :class:`ModuleTable` is the only representation; the
+contracts the old array-vs-dict suite proved now hold between *copy
+modes* of the runtime instead: the typed frame codec (the default
+transport) and the pickle oracle must be indistinguishable from
+outside — identical memberships, bitwise-equal codelength
+trajectories, byte-exact decoded wire columns — and the protocol
+itself must be deterministic (same churn schedule ⇒ same wires, same
+rebuilt tables, bitwise).
 """
 
 import pickle
@@ -24,7 +25,7 @@ from repro.graph import (
     ring_of_cliques,
 )
 from repro.partition import delegate_partition, local_views_delegate
-from repro.simmpi import run_spmd
+from repro.simmpi import decode_frame, encode_frame, payload_nbytes, run_spmd
 
 
 def _assert_cols_equal(a, b):
@@ -35,19 +36,19 @@ def _assert_cols_equal(a, b):
         np.testing.assert_array_equal(ca, cb)
 
 
-def _assert_tables_equal(sa, sd):
-    """Bitwise-identical table snapshots across the two backends."""
+def _assert_tables_equal(sa, sb):
+    """Bitwise-identical table snapshots across two states."""
     ta = sa.table_arrays()
-    td = sd.table_arrays()
-    np.testing.assert_array_equal(ta.mod_ids, td.mod_ids)
-    np.testing.assert_array_equal(ta.exit, td.exit)
-    np.testing.assert_array_equal(ta.sum_p, td.sum_p)
-    np.testing.assert_array_equal(ta.members, td.members)
-    assert sa.sum_exit_global == sd.sum_exit_global
+    tb = sb.table_arrays()
+    np.testing.assert_array_equal(ta.mod_ids, tb.mod_ids)
+    np.testing.assert_array_equal(ta.exit, tb.exit)
+    np.testing.assert_array_equal(ta.sum_p, tb.sum_p)
+    np.testing.assert_array_equal(ta.members, tb.members)
+    assert sa.sum_exit_global == sb.sum_exit_global
 
 
-class TestEndToEndEquivalence:
-    """Same seed ⇒ identical memberships, bitwise codelengths."""
+class TestEndToEndCopyModeEquivalence:
+    """Frames vs pickle: identical memberships, bitwise codelengths."""
 
     @pytest.mark.parametrize("nranks", [1, 2, 4])
     @pytest.mark.parametrize("min_label", [True, False])
@@ -55,57 +56,62 @@ class TestEndToEndEquivalence:
         lg = powerlaw_planted_partition(300, 6, mu=0.1, seed=11)
         base = InfomapConfig(seed=5, min_label=min_label)
         res = {}
-        for backend in ("array", "dict"):
-            res[backend] = distributed_infomap(
-                lg.graph, nranks, base.with_(table_backend=backend)
+        for mode in ("frames", "pickle"):
+            res[mode] = distributed_infomap(
+                lg.graph, nranks, base, copy_mode=mode
             )
-        a, d = res["array"], res["dict"]
-        np.testing.assert_array_equal(a.membership, d.membership)
-        assert a.codelength == d.codelength  # bitwise, not approx
+        f, p = res["frames"], res["pickle"]
+        np.testing.assert_array_equal(f.membership, p.membership)
+        assert f.codelength == p.codelength  # bitwise, not approx
         assert (
-            a.extras["codelength_history"] == d.extras["codelength_history"]
+            f.extras["codelength_history"] == p.extras["codelength_history"]
         )
 
     def test_scale_free_with_delegates(self):
         g = barabasi_albert(400, 3, seed=3)
         base = InfomapConfig(seed=9, d_high=2)
-        a = distributed_infomap(g, 3, base.with_(table_backend="array"))
-        d = distributed_infomap(g, 3, base.with_(table_backend="dict"))
-        np.testing.assert_array_equal(a.membership, d.membership)
-        assert a.codelength == d.codelength
+        f = distributed_infomap(g, 3, base, copy_mode="frames")
+        p = distributed_infomap(g, 3, base, copy_mode="pickle")
+        np.testing.assert_array_equal(f.membership, p.membership)
+        assert f.codelength == p.codelength
         assert (
-            a.extras["codelength_history"] == d.extras["codelength_history"]
+            f.extras["codelength_history"] == p.extras["codelength_history"]
         )
 
     @pytest.mark.parametrize("batch_size", [0, 256])
     def test_equivalence_holds_with_and_without_batching(self, batch_size):
         lg = ring_of_cliques(8, 6)
         base = InfomapConfig(seed=2, batch_size=batch_size)
-        a = distributed_infomap(lg.graph, 4, base.with_(table_backend="array"))
-        d = distributed_infomap(lg.graph, 4, base.with_(table_backend="dict"))
-        np.testing.assert_array_equal(a.membership, d.membership)
-        assert a.codelength == d.codelength
+        f = distributed_infomap(lg.graph, 4, base, copy_mode="frames")
+        p = distributed_infomap(lg.graph, 4, base, copy_mode="pickle")
+        np.testing.assert_array_equal(f.membership, p.membership)
+        assert f.codelength == p.codelength
 
 
 def _paired_states(seed=0):
-    """One (array, dict) state pair per rank over the same local views."""
+    """Two independent state sets per rank over the same local views."""
     lg = powerlaw_planted_partition(90, 6, mu=0.15, seed=seed)
     net = FlowNetwork.from_graph(lg.graph)
     dp = delegate_partition(lg.graph, 3, d_high=6)
     views = local_views_delegate(net, dp)
-    arr = [LocalModuleState(v, backend="array") for v in views]
-    dct = [LocalModuleState(v, backend="dict") for v in views]
-    return views, arr, dct
+    one = [LocalModuleState(v) for v in views]
+    two = [LocalModuleState(v) for v in views]
+    return views, one, two
 
 
-class TestProtocolEquivalence:
-    """Random membership-churn schedules through the full protocol."""
+class TestProtocolDeterminism:
+    """Random membership-churn schedules through the full protocol.
+
+    Two independent state sets driven by the same schedule must emit
+    byte-identical wires and converge to bitwise-equal tables — and
+    every real wire must survive a frame codec round trip unchanged.
+    """
 
     @settings(max_examples=12, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
     def test_wire_tables_and_sync_match(self, seed):
         rng = np.random.default_rng(seed)
-        views, arr, dct = _paired_states(seed % 7)
+        views, one, two = _paired_states(seed % 7)
         nranks = len(views)
         ghost_indexes = [
             {
@@ -115,7 +121,7 @@ class TestProtocolEquivalence:
             for v in views
         ]
         for _round in range(3):
-            # Identical random churn on both backends' memberships.
+            # Identical random churn on both state sets' memberships.
             for r, v in enumerate(views):
                 if v.num_owned == 0:
                     continue
@@ -124,8 +130,8 @@ class TestProtocolEquivalence:
                 targets = v.global_of[
                     rng.integers(0, v.num_local, size=n_moves)
                 ]
-                arr[r].module_of[movers] = targets
-                dct[r].module_of[movers] = targets
+                one[r].module_of[movers] = targets
+                two[r].module_of[movers] = targets
             hub_mods = (
                 set(
                     int(m)
@@ -136,162 +142,199 @@ class TestProtocolEquivalence:
                 if rng.random() < 0.5 else None
             )
 
-            owns_a = [s.contribution() for s in arr]
-            owns_d = [s.contribution() for s in dct]
-            for ca, cd in zip(owns_a, owns_d):
-                np.testing.assert_array_equal(ca.mod_ids, cd.mod_ids)
-                np.testing.assert_array_equal(ca.sum_p, cd.sum_p)
-                np.testing.assert_array_equal(ca.exit, cd.exit)
-                np.testing.assert_array_equal(ca.members, cd.members)
+            owns_1 = [s.contribution() for s in one]
+            owns_2 = [s.contribution() for s in two]
+            for ca, cb in zip(owns_1, owns_2):
+                np.testing.assert_array_equal(ca.mod_ids, cb.mod_ids)
+                np.testing.assert_array_equal(ca.sum_p, cb.sum_p)
+                np.testing.assert_array_equal(ca.exit, cb.exit)
+                np.testing.assert_array_equal(ca.members, cb.members)
 
-            # Full (Algorithm 3 literal) wire: byte-identical columns.
-            full_a = [
-                arr[r].prepare_swap(owns_a[r], hub_mods)
+            # Full (Algorithm 3 literal) wire: byte-identical columns,
+            # and a lossless frame round trip for every real payload.
+            full_1 = [
+                one[r].prepare_swap(owns_1[r], hub_mods)
                 for r in range(nranks)
             ]
-            full_d = [
-                dct[r].prepare_swap(owns_d[r], hub_mods)
+            full_2 = [
+                two[r].prepare_swap(owns_2[r], hub_mods)
                 for r in range(nranks)
             ]
-            for wa, wd in zip(full_a, full_d):
-                assert sorted(wa) == sorted(wd)
+            for wa, wb in zip(full_1, full_2):
+                assert sorted(wa) == sorted(wb)
                 for dest in wa:
-                    _assert_cols_equal(wa[dest], wd[dest])
+                    _assert_cols_equal(wa[dest], wb[dest])
+                    _assert_cols_equal(
+                        decode_frame(encode_frame(wa[dest])), wa[dest]
+                    )
 
             # Delta wire: byte-identical columns and destinations.
-            delta_a = [
-                arr[r].prepare_swap_delta(owns_a[r], hub_mods)
+            delta_1 = [
+                one[r].prepare_swap_delta(owns_1[r], hub_mods)
                 for r in range(nranks)
             ]
-            delta_d = [
-                dct[r].prepare_swap_delta(owns_d[r], hub_mods)
+            delta_2 = [
+                two[r].prepare_swap_delta(owns_2[r], hub_mods)
                 for r in range(nranks)
             ]
-            for wa, wd in zip(delta_a, delta_d):
-                assert sorted(wa) == sorted(wd)
+            for wa, wb in zip(delta_1, delta_2):
+                assert sorted(wa) == sorted(wb)
                 for dest in wa:
-                    _assert_cols_equal(wa[dest], wd[dest])
+                    _assert_cols_equal(wa[dest], wb[dest])
+                    _assert_cols_equal(
+                        decode_frame(encode_frame(wa[dest])), wa[dest]
+                    )
 
-            # Route the deltas, rebuild, compare tables bitwise.
+            # Route the deltas, rebuild, compare tables bitwise.  One
+            # state set applies the original columns, the other the
+            # frame-decoded copies: the rebuilt tables must agree.
             for dest in range(nranks):
-                inbox_a = {
-                    src: delta_a[src][dest]
-                    for src in range(nranks) if dest in delta_a[src]
+                inbox_1 = {
+                    src: delta_1[src][dest]
+                    for src in range(nranks) if dest in delta_1[src]
                 }
-                inbox_d = {
-                    src: delta_d[src][dest]
-                    for src in range(nranks) if dest in delta_d[src]
+                inbox_2 = {
+                    src: decode_frame(encode_frame(delta_2[src][dest]))
+                    for src in range(nranks) if dest in delta_2[src]
                 }
-                arr[dest].apply_swap_delta(inbox_a)
-                dct[dest].apply_swap_delta(inbox_d)
-                arr[dest].rebuild_table_from_caches(owns_a[dest])
-                dct[dest].rebuild_table_from_caches(owns_d[dest])
-                _assert_tables_equal(arr[dest], dct[dest])
+                one[dest].apply_swap_delta(inbox_1)
+                two[dest].apply_swap_delta(inbox_2)
+                one[dest].rebuild_table_from_caches(owns_1[dest])
+                two[dest].rebuild_table_from_caches(owns_2[dest])
+                _assert_tables_equal(one[dest], two[dest])
 
             # Membership sync: identical wire, identical ghost updates.
-            sync_a = [s.prepare_membership_sync_delta() for s in arr]
-            sync_d = [s.prepare_membership_sync_delta() for s in dct]
-            for wa, wd in zip(sync_a, sync_d):
-                assert sorted(wa) == sorted(wd)
+            sync_1 = [s.prepare_membership_sync_delta() for s in one]
+            sync_2 = [s.prepare_membership_sync_delta() for s in two]
+            for wa, wb in zip(sync_1, sync_2):
+                assert sorted(wa) == sorted(wb)
                 for dest in wa:
-                    _assert_cols_equal(wa[dest], wd[dest])
+                    _assert_cols_equal(wa[dest], wb[dest])
             for dest in range(nranks):
-                in_a = [
-                    sync_a[src][dest]
-                    for src in range(nranks) if dest in sync_a[src]
+                in_1 = [
+                    sync_1[src][dest]
+                    for src in range(nranks) if dest in sync_1[src]
                 ]
-                in_d = [
-                    sync_d[src][dest]
-                    for src in range(nranks) if dest in sync_d[src]
+                in_2 = [
+                    decode_frame(encode_frame(sync_2[src][dest]))
+                    for src in range(nranks) if dest in sync_2[src]
                 ]
-                ch_a = arr[dest].apply_membership_sync(
-                    in_a, ghost_indexes[dest]
+                ch_1 = one[dest].apply_membership_sync(
+                    in_1, ghost_indexes[dest]
                 )
-                ch_d = dct[dest].apply_membership_sync(
-                    in_d, ghost_indexes[dest]
+                ch_2 = two[dest].apply_membership_sync(
+                    in_2, ghost_indexes[dest]
                 )
-                assert ch_a == ch_d
+                assert ch_1 == ch_2
                 np.testing.assert_array_equal(
-                    arr[dest].module_of, dct[dest].module_of
+                    one[dest].module_of, two[dest].module_of
                 )
 
     def test_full_rebuild_from_wire_matches(self):
-        """rebuild_table over exchanged full batches is bitwise equal."""
-        views, arr, dct = _paired_states(3)
+        """rebuild_table over exchanged full batches is bitwise equal
+        whether the batches arrive raw or through the frame codec."""
+        views, one, two = _paired_states(3)
         nranks = len(views)
-        owns_a = [s.contribution() for s in arr]
-        owns_d = [s.contribution() for s in dct]
-        full_a = [arr[r].prepare_swap(owns_a[r]) for r in range(nranks)]
-        full_d = [dct[r].prepare_swap(owns_d[r]) for r in range(nranks)]
+        owns_1 = [s.contribution() for s in one]
+        owns_2 = [s.contribution() for s in two]
+        full_1 = [one[r].prepare_swap(owns_1[r]) for r in range(nranks)]
+        full_2 = [two[r].prepare_swap(owns_2[r]) for r in range(nranks)]
         for dest in range(nranks):
             # Ascending source order, like Communicator.exchange yields.
-            batches_a = [
-                full_a[src][dest]
+            batches_1 = [
+                full_1[src][dest]
                 for src in range(nranks)
-                if src != dest and dest in full_a[src]
+                if src != dest and dest in full_1[src]
             ]
-            batches_d = [
-                full_d[src][dest]
+            batches_2 = [
+                decode_frame(encode_frame(full_2[src][dest]))
                 for src in range(nranks)
-                if src != dest and dest in full_d[src]
+                if src != dest and dest in full_2[src]
             ]
-            arr[dest].rebuild_table(owns_a[dest], batches_a)
-            dct[dest].rebuild_table(owns_d[dest], batches_d)
-            arr[dest].sum_exit_global = sum(c.total_exit() for c in owns_a)
-            dct[dest].sum_exit_global = sum(c.total_exit() for c in owns_d)
-            _assert_tables_equal(arr[dest], dct[dest])
+            one[dest].rebuild_table(owns_1[dest], batches_1)
+            two[dest].rebuild_table(owns_2[dest], batches_2)
+            one[dest].sum_exit_global = sum(c.total_exit() for c in owns_1)
+            two[dest].sum_exit_global = sum(c.total_exit() for c in owns_2)
+            _assert_tables_equal(one[dest], two[dest])
 
 
 class TestSwapMeterInvariant:
-    """Metered swap bytes == pickled wire size, on both backends."""
+    """Metered swap bytes == encoded wire size, per copy mode."""
 
-    @pytest.mark.parametrize("backend", ["array", "dict"])
-    def test_metered_bytes_match_pickled_columns(self, backend):
-        def prog(comm, backend=backend):
+    @pytest.mark.parametrize("mode", ["frames", "pickle"])
+    def test_metered_bytes_match_encoded_columns(self, mode):
+        def prog(comm):
             lg = ring_of_cliques(8, 5)
             net = FlowNetwork.from_graph(lg.graph)
             dp = delegate_partition(lg.graph, comm.size, d_high=5)
             views = local_views_delegate(net, dp)
-            state = LocalModuleState(views[comm.rank], backend=backend)
+            state = LocalModuleState(views[comm.rank])
             own = state.contribution()
             wire = state.prepare_swap(own)
+            # Handshake outside the metered phase so "swaptest" holds
+            # exactly the point-to-point column traffic (exchange()'s
+            # internal counts-allreduce would land in the phase too).
+            dests = [sorted(w) for w in comm.allgather(sorted(wire))]
+            n_in = sum(
+                comm.rank in d
+                for src, d in enumerate(dests) if src != comm.rank
+            )
+            comm.set_phase("swaptest")
+            for dest in sorted(wire):
+                comm.send(wire[dest], dest, tag=7)
+            for _ in range(n_in):
+                comm.recv(tag=7)
+            comm.set_phase("other")
+            if mode == "frames":
+                physical = sum(
+                    len(encode_frame(v)) for v in wire.values()
+                )
+            else:
+                physical = sum(
+                    len(pickle.dumps(v, pickle.HIGHEST_PROTOCOL))
+                    for v in wire.values()
+                )
+            logical = sum(payload_nbytes(v) for v in wire.values())
+            return physical, logical
+
+        res = run_spmd(prog, 3, copy_mode=mode)
+        for r in range(3):
+            physical, logical = res.results[r]
+            st = res.ledger.for_rank(r)
+            assert st.bytes_by_phase["swaptest"] == physical
+            assert st.logical_bytes_by_phase["swaptest"] == logical
+
+    def test_logical_bytes_identical_across_copy_modes(self):
+        """The logical meter is codec-independent by construction."""
+
+        def prog(comm):
+            lg = ring_of_cliques(8, 5)
+            net = FlowNetwork.from_graph(lg.graph)
+            dp = delegate_partition(lg.graph, comm.size, d_high=5)
+            views = local_views_delegate(net, dp)
+            state = LocalModuleState(views[comm.rank])
+            wire = state.prepare_swap(state.contribution())
             comm.set_phase("swaptest")
             comm.exchange(wire)
             comm.set_phase("other")
-            return sum(
-                len(pickle.dumps(v, pickle.HIGHEST_PROTOCOL))
-                for v in wire.values()
-            )
+            return None
 
-        res = run_spmd(prog, 3)
-        for r in range(3):
-            expected = res.results[r]
-            metered = res.ledger.for_rank(r).bytes_by_phase["swaptest"]
-            assert metered == expected
-
-    def test_wire_bytes_identical_across_backends(self):
-        sizes = {}
-        for backend in ("array", "dict"):
-            views, arr, dct = _paired_states(1)
-            states = arr if backend == "array" else dct
-            wires = [s.prepare_swap(s.contribution()) for s in states]
-            sizes[backend] = [
-                {
-                    dest: len(pickle.dumps(w[dest], pickle.HIGHEST_PROTOCOL))
-                    for dest in sorted(w)
-                }
-                for w in wires
+        logical = {}
+        for mode in ("frames", "pickle"):
+            res = run_spmd(prog, 3, copy_mode=mode)
+            logical[mode] = [
+                res.ledger.for_rank(r).logical_bytes_by_phase["swaptest"]
+                for r in range(3)
             ]
-        assert sizes["array"] == sizes["dict"]
+        assert logical["frames"] == logical["pickle"]
 
 
 class TestApplyMoveBookkeeping:
     """Moving out of a module the table does not know is an error."""
 
-    @pytest.mark.parametrize("backend", ["array", "dict"])
-    def test_move_out_of_unknown_module_raises(self, backend):
-        views, arr, dct = _paired_states(0)
-        state = (arr if backend == "array" else dct)[0]
+    def test_move_out_of_unknown_module_raises(self):
+        views, one, _two = _paired_states(0)
+        state = one[0]
         state.rebuild_table(state.contribution(), [])
         # Corrupt one vertex's membership to a module id nobody has.
         state.module_of[0] = 10**9
@@ -300,10 +343,9 @@ class TestApplyMoveBookkeeping:
                 0, 1, p_u=0.01, x_u=0.01, d_old=0.0, d_new=0.005
             )
 
-    @pytest.mark.parametrize("backend", ["array", "dict"])
-    def test_known_module_moves_keep_member_counts(self, backend):
-        views, arr, dct = _paired_states(0)
-        state = (arr if backend == "array" else dct)[0]
+    def test_known_module_moves_keep_member_counts(self):
+        views, one, _two = _paired_states(0)
+        state = one[0]
         state.rebuild_table(state.contribution(), [])
         old = int(state.module_of[0])
         new = int(state.module_of[1])
