@@ -11,18 +11,18 @@ import pytest
 
 
 def pytest_collection_modifyitems(config, items):
-    """Skip throughput guards unless ``--run-bench`` is given.
+    """Skip throughput/observability guards unless ``--run-bench``.
 
-    The guards (frames-vs-pickle wire speedup, swap-cycle rounds/sec)
-    take tens of seconds and measure wall-clock ratios, so they don't
-    belong in the default tier-1 sweep; ``pytest benchmarks/
-    --run-bench`` opts in.
+    The guards (frames-vs-pickle wire speedup, swap-cycle rounds/sec,
+    tracing overhead) take tens of seconds and measure wall-clock
+    ratios, so they don't belong in the default tier-1 sweep;
+    ``pytest benchmarks/ --run-bench`` opts in.
     """
     if config.getoption("--run-bench"):
         return
     skip = pytest.mark.skip(reason="needs --run-bench")
     for item in items:
-        if "throughput_guard" in item.keywords:
+        if "throughput_guard" in item.keywords or "obs_guard" in item.keywords:
             item.add_marker(skip)
 
 

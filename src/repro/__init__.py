@@ -27,6 +27,8 @@ Subpackages:
   RelaxMap-like.
 * :mod:`repro.metrics` — NMI, F-measure, Jaccard, modularity.
 * :mod:`repro.bench` — experiment drivers for every paper table/figure.
+* :mod:`repro.obs` — run traces, Perfetto export, provenance
+  manifests, rank-aware logging.
 """
 
 from .core import (
@@ -60,6 +62,7 @@ from .partition import (
     compare_partitions as compare_partitionings,
     delegate_partition,
 )
+from .obs import NullTracer, Tracer, build_run_artifact
 from .simmpi import Communicator, MachineModel, SpmdResult, run_spmd
 
 __version__ = "1.0.0"
@@ -76,10 +79,13 @@ __all__ = [
     "LevelRecord",
     "MachineModel",
     "ModuleStats",
+    "NullTracer",
     "OneDPartition",
     "SequentialInfomap",
     "SpmdResult",
+    "Tracer",
     "__version__",
+    "build_run_artifact",
     "compare_partitionings",
     "compare_partitions",
     "dataset_names",

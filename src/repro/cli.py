@@ -4,7 +4,10 @@ Subcommands:
 
 * ``cluster``   — run sequential / distributed Infomap (or a baseline)
   on an edge-list file or a named dataset stand-in and write the
-  partition.
+  partition; ``--trace run.json`` also records a run-trace artifact.
+* ``inspect``   — summarize a run-trace artifact (slowest rank per
+  phase, convergence table, communication totals) or convert it to a
+  Perfetto-loadable timeline.
 * ``partition`` — compare 1D vs delegate partitioning for a graph.
 * ``bench``     — regenerate one of the paper's tables/figures.
 * ``datasets``  — list the available Table-1 stand-ins.
@@ -12,6 +15,9 @@ Subcommands:
 Examples::
 
     repro-infomap cluster --dataset dblp --method distributed --ranks 8
+    repro-infomap cluster --dataset dblp --method distributed \\
+        --ranks 8 --trace run.json
+    repro-infomap inspect run.json --perfetto run.perfetto.json
     repro-infomap cluster --input graph.txt --method sequential -o out.tsv
     repro-infomap partition --dataset uk2005 --ranks 32
     repro-infomap bench --experiment fig7 --ranks 32
@@ -32,6 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-infomap",
         description="Distributed Infomap (ICPP 2018 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable rank-aware logging at LEVEL (DEBUG, INFO, ...)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -58,6 +70,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="delegate degree threshold (default: adaptive)")
     pc.add_argument("--batch-size", type=int, default=None,
                     help="move-kernel block size (0 = scalar sweep)")
+    pc.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a run-trace artifact to PATH "
+             "(sequential/distributed only)",
+    )
+
+    pi = sub.add_parser(
+        "inspect", help="summarize or convert a run-trace artifact"
+    )
+    pi.add_argument("artifact", help="run-trace artifact (from --trace)")
+    pi.add_argument(
+        "--perfetto", metavar="OUT", default=None,
+        help="also write a Perfetto/chrome://tracing timeline to OUT",
+    )
+    pi.add_argument("--top", type=int, default=5,
+                    help="rows to show per counter section")
 
     pp = sub.add_parser("partition", help="compare 1D vs delegate partitioning")
     add_graph_source(pp)
@@ -101,10 +129,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.batch_size is not None:
         cfg_kwargs["batch_size"] = args.batch_size
     cfg = InfomapConfig(**cfg_kwargs)
+
+    tracer = None
+    if args.trace:
+        if args.method in ("sequential", "distributed"):
+            from .obs import Tracer
+
+            tracer = Tracer()
+        else:
+            print(
+                f"warning: --trace is not supported for method "
+                f"{args.method!r}; ignoring",
+                file=sys.stderr,
+            )
+
     if args.method == "sequential":
-        result = sequential_infomap(graph, cfg)
+        result = sequential_infomap(graph, cfg, tracer=tracer)
     elif args.method == "distributed":
-        result = distributed_infomap(graph, args.ranks, cfg)
+        result = distributed_infomap(
+            graph, args.ranks, cfg, tracer=tracer
+        )
     elif args.method == "gossipmap":
         result = gossipmap(graph, args.ranks, cfg)
     elif args.method == "louvain":
@@ -115,6 +159,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         result = relaxmap(graph, args.ranks)
 
     print(result.summary())
+    if tracer is not None:
+        from .obs import build_manifest, build_run_artifact, write_run_artifact
+
+        nranks = args.ranks if args.method == "distributed" else 1
+        manifest = build_manifest(
+            config=cfg,
+            nranks=nranks,
+            copy_mode="frames" if args.method == "distributed" else "none",
+            graph=graph,
+            method=args.method,
+        )
+        artifact = build_run_artifact(tracer, result, manifest=manifest)
+        write_run_artifact(args.trace, artifact)
+        print(
+            f"run trace written to {args.trace} "
+            f"({artifact['num_events']} events, {artifact['nranks']} ranks)"
+        )
     if labels is not None:
         print(f"NMI vs ground truth: {nmi(result.membership, labels):.4f}")
     if args.output:
@@ -122,6 +183,114 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             for v, m in enumerate(result.membership.tolist()):
                 fh.write(f"{v}\t{m}\n")
         print(f"partition written to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .bench.report import format_value, render_table
+    from .obs import (
+        counter_final_values,
+        load_run_artifact,
+        span_seconds_by_rank,
+        write_chrome_trace,
+    )
+
+    artifact = load_run_artifact(args.artifact)
+    manifest = artifact.get("manifest", {})
+    res = artifact.get("result", {})
+
+    head = [f"run-trace artifact: {args.artifact}"]
+    if manifest:
+        head.append(
+            f"  method={manifest.get('method', '?')}"
+            f"  nranks={artifact.get('nranks')}"
+            f"  seed={manifest.get('seed', '?')}"
+            f"  copy_mode={manifest.get('copy_mode', '?')}"
+        )
+        g = manifest.get("graph", {})
+        if g:
+            head.append(
+                f"  graph: {g.get('num_vertices')} vertices, "
+                f"{g.get('num_edges')} edges, "
+                f"fingerprint {str(g.get('fingerprint', ''))[:12]}"
+            )
+    if res:
+        head.append(
+            f"  result: L={format_value(float(res['codelength']))} bits, "
+            f"{res['num_modules']} modules, converged={res['converged']}"
+        )
+    head.append(f"  events: {artifact.get('num_events')}")
+    print("\n".join(head))
+
+    events = artifact.get("events", [])
+
+    # Slowest rank per span name (Fig-8 style breakdown).
+    spans = span_seconds_by_rank(events)
+    if spans:
+        rows = []
+        for name in sorted(spans, key=lambda n: -max(spans[n].values())):
+            per_rank = spans[name]
+            worst = max(per_rank, key=lambda r: per_rank[r])
+            rows.append(
+                {
+                    "span": name,
+                    "slowest_rank": worst,
+                    "seconds": per_rank[worst],
+                    "mean_seconds": sum(per_rank.values()) / len(per_rank),
+                }
+            )
+        print()
+        print(render_table(rows[: args.top], title="slowest rank per span"))
+
+    # Round-by-round convergence.
+    conv = artifact.get("convergence", [])
+    if conv:
+        print()
+        print(
+            render_table(
+                conv,
+                title="convergence by (level, round)",
+                columns=[
+                    "level", "round", "codelength", "moves",
+                    "boundary_bytes", "frontier",
+                ],
+            )
+        )
+
+    # Per-phase communication totals.
+    phase_comm = artifact.get("phase_comm", {})
+    if phase_comm:
+        rows = [
+            {
+                "phase": ph,
+                "bytes": slot["bytes"],
+                "messages": slot["messages"],
+            }
+            for ph, slot in sorted(
+                phase_comm.items(), key=lambda kv: -kv[1]["bytes"]
+            )
+        ]
+        print()
+        print(render_table(rows, title="communication by phase"))
+
+    # Final counter values (top by magnitude across ranks).
+    counters = counter_final_values(events)
+    if counters:
+        rows = [
+            {
+                "counter": name,
+                "max_over_ranks": max(per_rank.values()),
+                "ranks": len(per_rank),
+            }
+            for name, per_rank in counters.items()
+        ]
+        rows.sort(key=lambda r: -abs(r["max_over_ranks"]))
+        print()
+        print(render_table(rows[: args.top], title="counters (final values)"))
+
+    if args.perfetto:
+        write_chrome_trace(args.perfetto, artifact)
+        print(f"\nPerfetto trace written to {args.perfetto}")
     return 0
 
 
@@ -194,8 +363,14 @@ def _cmd_datasets() -> int:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from .obs import configure_logging
+
+        configure_logging(args.log_level)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     if args.command == "partition":
         return _cmd_partition(args)
     if args.command == "bench":

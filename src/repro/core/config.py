@@ -99,6 +99,16 @@ class InfomapConfig:
             only trades memory/locality against vectorization; ``0``
             disables batching entirely (the legacy one-vertex-at-a-time
             path, kept for ablations and equivalence tests).
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving the
+            run's per-rank event stream (phase spans, round convergence
+            samples, communication counters).  ``None`` (default) turns
+            tracing off entirely; the solvers then pay one attribute
+            check per would-be event.  Excluded from equality/repr and
+            from serialized provenance — it describes how the run is
+            observed, not what runs, and tracing is guaranteed not to
+            change any decision (enforced by
+            ``tests/test_obs_trace.py``).  An explicit ``tracer=``
+            argument to the solver entry points overrides this field.
     """
 
     threshold: float = 1e-8
@@ -121,6 +131,7 @@ class InfomapConfig:
     round_threshold_rel: float = 1e-4
     max_rounds: int = 60
     batch_size: int = 256
+    tracer: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.threshold < 0:

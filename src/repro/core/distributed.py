@@ -40,6 +40,7 @@ import numpy as np
 
 from ..graph.builder import from_edge_array
 from ..graph.graph import Graph
+from ..obs.log import get_logger
 from ..partition.delegates import delegate_partition
 from ..partition.distgraph import LocalGraph, build_local_graphs, local_views_1d
 from ..partition.oned import OneDPartition
@@ -66,6 +67,8 @@ from .timing import (
 )
 
 __all__ = ["DistributedInfomap", "distributed_infomap"]
+
+log = get_logger("core.distributed")
 
 
 # ---------------------------------------------------------------------------
@@ -527,6 +530,7 @@ def _cluster_rounds(
     Returns ``(state, final_contribution, codelength_history, rounds,
     total_moves)``.
     """
+    buf = comm.trace
     state = LocalModuleState(lg)
     ghost_base = lg.num_owned + lg.num_hubs
     ghost_index = {
@@ -603,6 +607,9 @@ def _cluster_rounds(
     best_l = history[0]
     stalled = 0
     for rounds in range(1, cfg.max_rounds + 1):
+        buf.set_context(round=rounds)
+        swap_bytes0 = comm.stats.bytes_by_phase.get(PHASE_SWAP_BOUNDARY, 0)
+        frontier = 0
         if cfg.shuffle:
             rng.shuffle(order)
 
@@ -614,6 +621,7 @@ def _cluster_rounds(
         with timer.phase(PHASE_FIND_BEST):
             bmods = state.boundary_modules() if cfg.min_label else set()
             act = order[active[order]]
+            frontier = int(act.size)
             if use_batch and act.size >= _BATCH_MIN_ACTIVE:
                 local_moves, work = _batched_local_sweep(
                     state, cfg, bmods, act, id_space, batch_touched,
@@ -911,6 +919,27 @@ def _cluster_rounds(
 
         total_moves = int(comm.allreduce(local_moves)) + hub_moves
         total_moves_all += total_moves
+        if buf.enabled:
+            # One convergence sample per rank per round.  codelength
+            # and moves are globally consistent (allreduced) so any
+            # rank's series is *the* series; boundary_bytes and
+            # frontier are per-rank and summed at export time.
+            swap_bytes = (
+                comm.stats.bytes_by_phase.get(PHASE_SWAP_BOUNDARY, 0)
+                - swap_bytes0
+            )
+            buf.instant(
+                "round",
+                args={
+                    "codelength": float(history[-1]),
+                    "moves": int(total_moves),
+                    "boundary_bytes": int(swap_bytes),
+                    "frontier": frontier,
+                },
+            )
+            buf.counter("codelength", float(history[-1]))
+            buf.counter("moves", float(total_moves))
+            buf.counter("frontier", float(frontier))
         if total_moves == 0:
             break
         # "... or there is no more MDL optimization" (§3.4): residual
@@ -931,6 +960,7 @@ def _cluster_rounds(
             stalled += 1
             if stalled >= 3:
                 break
+    buf.set_context(round=None)
 
     return state, own, history, rounds, total_moves_all
 
@@ -1017,7 +1047,8 @@ def _rank_program(
     rank = comm.rank
     p = comm.size
     lg = views[rank]
-    timer = PhaseTimer(comm)
+    buf = comm.trace
+    timer = PhaseTimer(comm, trace=buf)
     rng = np.random.default_rng(cfg.seed + 7919 * rank)
 
     # Constant node-codebook term, reduced from exactly-once vertex mass.
@@ -1031,14 +1062,35 @@ def _rank_program(
     records: list[dict[str, Any]] = []
     codelength_history: list[float] = []
 
-    # ---- Stage 1: clustering with delegates --------------------------------
-    state, own, hist1, rounds1, moves1 = _cluster_rounds(
-        comm, lg, cfg, timer, node_term, rng, with_delegates=True,
-        id_space=n0,
+    log.debug(
+        "rank program start: owned=%d hubs=%d ghosts=%d",
+        lg.num_owned, lg.num_hubs, lg.num_ghosts,
     )
+
+    # ---- Stage 1: clustering with delegates --------------------------------
+    buf.set_context(level=0)
+    with buf.span("stage1"):
+        state, own, hist1, rounds1, moves1 = _cluster_rounds(
+            comm, lg, cfg, timer, node_term, rng, with_delegates=True,
+            id_space=n0,
+        )
     codelength_history.extend(hist1)
 
     net, module_ids = _merge_to_coarse(comm, state, own, timer, id_space=n0)
+    log.debug(
+        "stage 1 done: rounds=%d moves=%d L=%.6f -> %d modules",
+        rounds1, moves1, hist1[-1], net.graph.num_vertices,
+    )
+    if buf.enabled:
+        buf.instant(
+            "level_done",
+            args={
+                "num_vertices": int(n0),
+                "num_modules": int(net.graph.num_vertices),
+                "codelength": float(hist1[-1]),
+                "moves": int(moves1),
+            },
+        )
     stage1_timer = timer.snapshot()
     records.append(
         {
@@ -1066,6 +1118,7 @@ def _rank_program(
 
     for level in range(1, cfg.max_levels):
         cn = net.graph.num_vertices
+        buf.set_context(level=level)
         with timer.phase(PHASE_OTHER):
             # Small coarse graphs concentrate onto fewer ranks (see
             # InfomapConfig.min_vertices_per_rank); idle ranks still
@@ -1076,10 +1129,11 @@ def _rank_program(
             views2 = local_views_1d(net, part)
             lg2 = views2[rank]
 
-        state2, own2, hist2, rounds2, moves2 = _cluster_rounds(
-            comm, lg2, cfg, timer, node_term, rng, with_delegates=False,
-            id_space=cn,
-        )
+        with buf.span("stage2_level"):
+            state2, own2, hist2, rounds2, moves2 = _cluster_rounds(
+                comm, lg2, cfg, timer, node_term, rng, with_delegates=False,
+                id_space=cn,
+            )
         l_after = hist2[-1]
         codelength_history.append(l_after)
         final_codelength = l_after
@@ -1111,6 +1165,16 @@ def _rank_program(
                 "moves": moves2,
             }
         )
+        if buf.enabled:
+            buf.instant(
+                "level_done",
+                args={
+                    "num_vertices": int(cn),
+                    "num_modules": int(coarse2.graph.num_vertices),
+                    "codelength": float(l_after),
+                    "moves": int(moves2),
+                },
+            )
 
         if moves2 == 0 or (l_prev - l_after) < cfg.threshold:
             converged = True
@@ -1120,6 +1184,7 @@ def _rank_program(
             break
         net = coarse2
         l_prev = l_after
+    buf.set_context(level=None)
 
     final_modules = proj[coarse_of_stage1]
     return {
@@ -1149,6 +1214,7 @@ def distributed_infomap(
     machine: MachineModel | None = None,
     copy_mode: str = "frames",
     timeout: float = 600.0,
+    tracer: Any = None,
 ) -> ClusteringResult:
     """Run the distributed Infomap algorithm on *nranks* simulated ranks.
 
@@ -1156,8 +1222,14 @@ def distributed_infomap(
     up front; the two clustering stages run as an SPMD job on the
     in-process runtime.  See :class:`DistributedInfomap` for the
     object-style API and the paper mapping.
+
+    With a :class:`~repro.obs.trace.Tracer` (argument or
+    ``config.tracer``) every rank records phase spans, per-round
+    convergence samples and per-message byte meters on its own
+    timeline; tracing never changes any clustering decision.
     """
     cfg = config or InfomapConfig()
+    tr = tracer if tracer is not None else cfg.tracer
     if graph.num_edges == 0:
         raise ValueError("cannot cluster a graph with no edges")
 
@@ -1183,6 +1255,7 @@ def distributed_infomap(
         fn_args=(views, cfg, graph.num_vertices),
         copy_mode=copy_mode,
         timeout=timeout,
+        tracer=tr,
     )
 
     # Assemble the flat membership from per-rank exactly-once pieces.
@@ -1318,6 +1391,7 @@ class DistributedInfomap:
         machine: MachineModel | None = None,
         copy_mode: str = "frames",
         timeout: float = 600.0,
+        tracer: Any = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -1326,6 +1400,7 @@ class DistributedInfomap:
         self.machine = machine
         self.copy_mode = copy_mode
         self.timeout = timeout
+        self.tracer = tracer
 
     def run(self, graph: Graph) -> ClusteringResult:
         return distributed_infomap(
@@ -1335,4 +1410,5 @@ class DistributedInfomap:
             machine=self.machine,
             copy_mode=self.copy_mode,
             timeout=self.timeout,
+            tracer=self.tracer,
         )

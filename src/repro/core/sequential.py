@@ -15,9 +15,12 @@ the pseudocode with no shortcuts.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..graph.graph import Graph
+from ..obs.trace import NULL_BUFFER
 from .config import InfomapConfig
 from .flow import FlowNetwork
 from .kernels import drift_guard_bound, score_block_stats
@@ -164,6 +167,7 @@ def cluster_level(
     *,
     node_term: float | None = None,
     initial_stats: ModuleStats | None = None,
+    trace: Any = None,
 ) -> tuple[np.ndarray, ModuleStats, int, int]:
     """One level of greedy clustering: Lines 7–23 of Algorithm 1.
 
@@ -177,11 +181,14 @@ def cluster_level(
             for *network* (they are **mutated in place**); callers that
             already built them to read the pre-clustering codelength
             pass them here to skip a duplicate O(n+m) recomputation.
+        trace: optional :class:`~repro.obs.trace.RankTraceBuffer`; each
+            sweep lands as a span with its committed-move count.
 
     Returns:
         ``(membership, stats, sweeps, total_moves)`` where membership
         uses module ids in ``0..n-1`` (not compacted).
     """
+    buf = trace if trace is not None else NULL_BUFFER
     n = network.graph.num_vertices
     membership = np.arange(n, dtype=np.int64)
     stats = (
@@ -198,25 +205,44 @@ def cluster_level(
     for sweeps in range(1, config.max_sweeps + 1):
         if config.shuffle:
             rng.shuffle(order)
-        if config.batch_size > 0:
-            moved = _sweep_batched(network, membership, stats, order, config)
-        else:
-            moved = _sweep_scalar(network, membership, stats, order, config)
+        buf.set_context(round=sweeps)
+        with buf.span("sweep"):
+            if config.batch_size > 0:
+                moved = _sweep_batched(
+                    network, membership, stats, order, config
+                )
+            else:
+                moved = _sweep_scalar(
+                    network, membership, stats, order, config
+                )
+        if buf.enabled:
+            buf.instant("sweep_done", args={"moves": int(moved)})
+            buf.counter("moves", int(moved))
         total_moves += moved
         if moved == 0:
             break
+    buf.set_context(round=None)
     return membership, stats, sweeps, total_moves
 
 
 def sequential_infomap(
-    graph: Graph, config: InfomapConfig | None = None
+    graph: Graph,
+    config: InfomapConfig | None = None,
+    *,
+    tracer: Any = None,
 ) -> ClusteringResult:
     """Run Algorithm 1 on *graph* and return the flat partition.
 
     The outer loop coarsens until the codelength improvement of a level
     falls below ``config.threshold`` or ``config.max_levels`` is hit.
+    With a tracer (argument or ``config.tracer``) the run additionally
+    records a rank-0 timeline: one span per level and sweep plus
+    per-level codelength/module-count samples.  Tracing never alters a
+    decision, so traced and untraced runs are bitwise-identical.
     """
     cfg = config or InfomapConfig()
+    tr = tracer if tracer is not None else cfg.tracer
+    buf = tr.for_rank(0) if tr is not None and tr.enabled else NULL_BUFFER
     rng = np.random.default_rng(cfg.seed)
     network = FlowNetwork.from_graph(graph)
 
@@ -243,10 +269,12 @@ def sequential_infomap(
         if level == 0:
             final_codelength = l_before
 
-        membership, stats, sweeps, moves = cluster_level(
-            network, cfg, rng, node_term=node_term0,
-            initial_stats=initial_stats,
-        )
+        buf.set_context(level=level)
+        with buf.span("cluster_level"):
+            membership, stats, sweeps, moves = cluster_level(
+                network, cfg, rng, node_term=node_term0,
+                initial_stats=initial_stats, trace=buf,
+            )
         l_after = stats.codelength()
 
         coarse_network, community_of = network.coarsen(membership)
@@ -263,6 +291,17 @@ def sequential_infomap(
         )
         global_membership = community_of[global_membership]
         final_codelength = l_after
+        if buf.enabled:
+            buf.instant(
+                "level_done",
+                args={
+                    "num_vertices": int(n),
+                    "num_modules": int(coarse_network.graph.num_vertices),
+                    "codelength": float(l_after),
+                    "moves": int(moves),
+                },
+            )
+            buf.counter("codelength", float(l_after))
 
         if moves == 0 or l_before - l_after < cfg.threshold:
             converged = True
@@ -271,6 +310,7 @@ def sequential_infomap(
             converged = True
             break
         network = coarse_network
+    buf.set_context(level=None)
 
     return ClusteringResult(
         membership=global_membership,
@@ -293,8 +333,14 @@ class SequentialInfomap:
         print(result.summary())
     """
 
-    def __init__(self, config: InfomapConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: InfomapConfig | None = None,
+        *,
+        tracer: Any = None,
+    ) -> None:
         self.config = config or InfomapConfig()
+        self.tracer = tracer
 
     def run(self, graph: Graph) -> ClusteringResult:
-        return sequential_infomap(graph, self.config)
+        return sequential_infomap(graph, self.config, tracer=self.tracer)

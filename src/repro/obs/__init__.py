@@ -1,0 +1,86 @@
+"""Observability: run traces, artifacts, Perfetto export, logging.
+
+The paper's whole evaluation (Figs 7–9) is built on per-rank, per-phase
+observations; this package is the reproduction's first-class version of
+that instrumentation:
+
+* :mod:`repro.obs.trace` — per-rank append-only event buffers (spans,
+  instants, counters), lock-free on the hot path, merged
+  deterministically at job finalize;
+* :mod:`repro.obs.export` — the self-contained run artifact (events +
+  convergence series + provenance) and the Chrome trace-event export
+  Perfetto / ``chrome://tracing`` load with one track per rank;
+* :mod:`repro.obs.manifest` — provenance (config, seeds, ranks, codec,
+  versions, graph fingerprint);
+* :mod:`repro.obs.log` — rank-aware stdlib logging (off by default).
+
+Quick start::
+
+    from repro import DistributedInfomap, load_dataset
+    from repro.obs import Tracer, build_manifest, build_run_artifact
+
+    tracer = Tracer()
+    data = load_dataset("dblp")
+    result = DistributedInfomap(nranks=8, tracer=tracer).run(data.graph)
+    artifact = build_run_artifact(
+        tracer, result,
+        manifest=build_manifest(nranks=8, graph=data.graph),
+    )
+
+then ``repro-infomap inspect run.json --perfetto timeline.json`` on the
+written artifact.
+"""
+
+from .export import (
+    ARTIFACT_SCHEMA,
+    build_run_artifact,
+    convergence_rows,
+    counter_final_values,
+    load_run_artifact,
+    phase_byte_totals,
+    span_seconds_by_rank,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_run_artifact,
+)
+from .log import (
+    DEFAULT_FORMAT,
+    LOGGER_NAME,
+    RankContextFilter,
+    configure_logging,
+    get_logger,
+)
+from .manifest import build_manifest, config_dict, graph_fingerprint
+from .trace import (
+    EVENT_KINDS,
+    NULL_BUFFER,
+    NullTracer,
+    RankTraceBuffer,
+    Tracer,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "DEFAULT_FORMAT",
+    "EVENT_KINDS",
+    "LOGGER_NAME",
+    "NULL_BUFFER",
+    "NullTracer",
+    "RankContextFilter",
+    "RankTraceBuffer",
+    "Tracer",
+    "build_manifest",
+    "build_run_artifact",
+    "config_dict",
+    "configure_logging",
+    "convergence_rows",
+    "counter_final_values",
+    "get_logger",
+    "graph_fingerprint",
+    "load_run_artifact",
+    "phase_byte_totals",
+    "span_seconds_by_rank",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_run_artifact",
+]

@@ -1,0 +1,99 @@
+"""Rank-aware stdlib logging for the repro package.
+
+The library logs under the ``"repro"`` logger hierarchy and is silent
+by default (a ``NullHandler`` on the root ``repro`` logger, level left
+untouched) — exactly the stdlib-recommended posture for libraries.
+:func:`configure_logging` opts in, installing a handler whose format
+includes ``%(rank)s``.
+
+The rank is injected by :class:`RankContextFilter` without any
+plumbing: the SPMD engine names its worker threads ``simmpi-rank-<r>``,
+so the filter reads the rank off the current thread name — the
+in-process analogue of an MPI launcher exporting ``PMI_RANK``.  Records
+logged outside any rank thread (the driver, tests) get ``rank="-"``.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Any
+
+__all__ = [
+    "LOGGER_NAME",
+    "DEFAULT_FORMAT",
+    "RankContextFilter",
+    "configure_logging",
+    "get_logger",
+]
+
+#: Root logger name for the whole package.
+LOGGER_NAME = "repro"
+
+#: Default line format; ``%(rank)s`` is supplied by the filter.
+DEFAULT_FORMAT = (
+    "%(asctime)s %(levelname)-7s [rank %(rank)s] %(name)s: %(message)s"
+)
+
+_THREAD_PREFIX = "simmpi-rank-"
+
+
+class RankContextFilter(logging.Filter):
+    """Injects a ``rank`` attribute into every record.
+
+    Resolution order: an explicit ``extra={"rank": ...}`` wins; else the
+    ``simmpi-rank-<r>`` worker-thread name; else ``"-"``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "rank"):
+            name = threading.current_thread().name
+            if name.startswith(_THREAD_PREFIX):
+                record.rank = name[len(_THREAD_PREFIX):]
+            else:
+                record.rank = "-"
+        return True
+
+
+def get_logger(name: "str | None" = None) -> logging.Logger:
+    """The package logger, or a child of it (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + ".") or name == LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: "int | str" = "INFO",
+    *,
+    stream: Any = None,
+    fmt: str = DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Enable rank-tagged logging (the CLI's ``--log-level`` backend).
+
+    Installs one stream handler with :class:`RankContextFilter` on the
+    ``repro`` logger and sets its level.  Idempotent: a second call
+    replaces the previously-installed handler instead of stacking, so
+    repeated CLI invocations in one process don't duplicate lines.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger = logging.getLogger(LOGGER_NAME)
+    for h in list(logger.handlers):
+        if getattr(h, "_repro_rank_handler", False):
+            logger.removeHandler(h)
+    handler = logging.StreamHandler(stream)
+    handler._repro_rank_handler = True  # type: ignore[attr-defined]
+    handler.addFilter(RankContextFilter())
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+# Library default: silent unless the application configures logging.
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())

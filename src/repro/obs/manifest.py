@@ -1,0 +1,97 @@
+"""Provenance manifest for run-trace artifacts.
+
+A trace without provenance is a curve you cannot reproduce.  The
+manifest pins down everything that determines a run's event stream and
+convergence series: the algorithm configuration, seeds, rank count,
+wire codec, package versions, and a content fingerprint of the input
+graph (so an artifact can be matched to — or distinguished from — the
+exact edges it was produced on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform
+import time
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["build_manifest", "config_dict", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph: Any) -> str:
+    """SHA-256 over the CSR arrays — a content id for the input graph.
+
+    Hashes shapes and raw bytes of ``indptr``/``indices``/``weights``
+    in a fixed order, so two graphs fingerprint equal iff their CSR
+    representations are byte-identical.
+    """
+    h = hashlib.sha256()
+    for arr in (graph.indptr, graph.indices, graph.weights):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def config_dict(config: Any) -> dict[str, Any]:
+    """A JSON-safe dict of an :class:`~repro.core.config.InfomapConfig`.
+
+    Walks dataclass fields directly instead of ``dataclasses.asdict``
+    so the non-serializable ``tracer`` handle is skipped (it describes
+    *how* the run was observed, not *what* ran).
+    """
+    if not is_dataclass(config):
+        return dict(config)
+    out: dict[str, Any] = {}
+    for f in fields(config):
+        if f.name == "tracer":
+            continue
+        out[f.name] = getattr(config, f.name)
+    return out
+
+
+def build_manifest(
+    *,
+    config: Any = None,
+    nranks: "int | None" = None,
+    copy_mode: "str | None" = None,
+    graph: Any = None,
+    method: "str | None" = None,
+    extra: "dict[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Assemble the provenance manifest embedded in a run artifact."""
+    try:
+        from .. import __version__ as repro_version
+    except Exception:  # pragma: no cover - import-order edge
+        repro_version = "unknown"
+    manifest: dict[str, Any] = {
+        "created_unix": time.time(),
+        "repro_version": repro_version,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "platform": platform.platform(),
+    }
+    if method is not None:
+        manifest["method"] = method
+    if nranks is not None:
+        manifest["nranks"] = nranks
+    if copy_mode is not None:
+        manifest["copy_mode"] = copy_mode
+    if config is not None:
+        cfg = config_dict(config)
+        manifest["config"] = cfg
+        if "seed" in cfg:
+            manifest["seed"] = cfg["seed"]
+    if graph is not None:
+        manifest["graph"] = {
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+            "fingerprint": graph_fingerprint(graph),
+        }
+    if extra:
+        manifest.update(extra)
+    return manifest

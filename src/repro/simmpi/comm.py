@@ -22,6 +22,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.trace import NULL_BUFFER
 from .stats import RankStats
 
 __all__ = [
@@ -101,6 +102,20 @@ class Communicator(ABC):
     def set_phase(self, phase: str) -> None:
         """Attribute subsequent traffic to a named phase (simulation-only)."""
         self.stats.set_phase(phase)
+
+    @property
+    def trace(self) -> Any:
+        """This rank's run-trace buffer (simulation-only).
+
+        Returns the :class:`~repro.obs.trace.RankTraceBuffer` the
+        engine attached when tracing is on, else the shared no-op
+        :data:`~repro.obs.trace.NULL_BUFFER` — so SPMD code can emit
+        events unconditionally and a disabled run pays only the
+        ``enabled`` attribute check.  In a real-MPI port this is the
+        seam where a Score-P-style per-rank buffer would hang.
+        """
+        buf = self.stats.trace
+        return buf if buf is not None else NULL_BUFFER
 
     # -- point to point ----------------------------------------------------
     @abstractmethod

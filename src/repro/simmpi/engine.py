@@ -19,12 +19,15 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs.log import get_logger
 from .errors import AbortError, DeadlockError
 from .serial import SerialCommunicator
 from .stats import CommLedger
 from .threadcomm import JobContext, ThreadCommunicator
 
 __all__ = ["SpmdResult", "run_spmd"]
+
+log = get_logger("simmpi.engine")
 
 
 @dataclass
@@ -34,10 +37,16 @@ class SpmdResult:
     Attributes:
         results: per-rank return values, indexed by rank.
         ledger: communication counters for the whole job.
+        trace: the :class:`~repro.obs.trace.Tracer` the job wrote into,
+            or ``None`` when tracing was off.  By the time the result
+            exists every rank has joined, so the tracer's per-rank
+            buffers are complete and ``trace.merged_events()`` is the
+            deterministic finalize-time merge.
     """
 
     results: list[Any]
     ledger: CommLedger
+    trace: Any = None
 
     @property
     def nranks(self) -> int:
@@ -66,6 +75,7 @@ def run_spmd(
     copy_mode: str = "frames",
     timeout: float = 300.0,
     op_timeout: float = 60.0,
+    tracer: Any = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *fn_args, **fn_kwargs)`` on *nranks* ranks.
 
@@ -86,6 +96,12 @@ def run_spmd(
         timeout: overall wall-clock budget for the job; exceeded ⇒
             :class:`DeadlockError` after tearing the ranks down.
         op_timeout: per-blocking-call budget inside ranks.
+        tracer: optional :class:`~repro.obs.trace.Tracer`.  When given
+            (and enabled), each rank gets its own lock-free event
+            buffer before the job starts — reachable inside ``fn`` via
+            ``comm.trace`` — and the communicator's byte meters emit
+            per-message counter events onto the same timeline.  The
+            tracer rides back on :attr:`SpmdResult.trace`.
 
     Returns:
         :class:`SpmdResult` with per-rank return values and the ledger.
@@ -97,13 +113,28 @@ def run_spmd(
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     kwargs = fn_kwargs or {}
+    tracing = tracer is not None and getattr(tracer, "enabled", False)
 
     if nranks == 1:
         comm = SerialCommunicator(copy_mode=copy_mode)
+        if tracing:
+            comm.stats.trace = tracer.for_rank(0)
         value = fn(comm, *fn_args, **kwargs)
-        return SpmdResult(results=[value], ledger=comm.ledger)
+        return SpmdResult(
+            results=[value], ledger=comm.ledger,
+            trace=tracer if tracing else None,
+        )
 
+    log.debug(
+        "launching SPMD job: nranks=%d copy_mode=%s tracing=%s",
+        nranks, copy_mode, tracing,
+    )
     ctx = JobContext(nranks, copy_mode=copy_mode, op_timeout=op_timeout)
+    if tracing:
+        # Buffers are created on the launcher thread, before any rank
+        # runs, so the per-rank hot paths never touch the tracer lock.
+        for r in range(nranks):
+            ctx.ledger.for_rank(r).trace = tracer.for_rank(r)
     outcomes = [_RankOutcome() for _ in range(nranks)]
 
     def worker(rank: int) -> None:
@@ -154,4 +185,7 @@ def run_spmd(
             raise cause
         raise AbortError(failed_rank, cause)
 
-    return SpmdResult(results=[o.value for o in outcomes], ledger=ctx.ledger)
+    return SpmdResult(
+        results=[o.value for o in outcomes], ledger=ctx.ledger,
+        trace=tracer if tracing else None,
+    )

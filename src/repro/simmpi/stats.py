@@ -91,6 +91,12 @@ class RankStats:
 
     The rank that owns this object is the only writer, so no locks are
     required; the ledger only reads after the job has joined.
+
+    When a run-trace buffer is attached (``trace``, set by the engine
+    when a :class:`~repro.obs.trace.Tracer` is passed to ``run_spmd``),
+    every byte-counting update also emits a cumulative counter event
+    onto the rank's timeline, so the trace reconciles exactly with the
+    ledger.  Disabled runs pay one ``is not None`` check per update.
     """
 
     rank: int
@@ -114,6 +120,7 @@ class RankStats:
         default_factory=lambda: defaultdict(float)
     )
     _phase: str = "default"
+    trace: Any = field(default=None, repr=False, compare=False)
 
     def set_phase(self, phase: str) -> None:
         """Attribute subsequent traffic to *phase* (e.g. ``"swap_boundary"``)."""
@@ -128,6 +135,8 @@ class RankStats:
         self.p2p_bytes_sent += nbytes
         self.bytes_by_phase[self._phase] += nbytes
         self.messages_by_phase[self._phase] += 1
+        if self.trace is not None:
+            self.trace.meter("p2p_bytes_sent", nbytes, phase=self._phase)
 
     def record_recv(self, nbytes: int) -> None:
         self.p2p_messages_recv += 1
@@ -139,6 +148,10 @@ class RankStats:
         self.collective_bytes_out += nbytes_out
         self.bytes_by_phase[self._phase] += nbytes_in
         self.messages_by_phase[self._phase] += 1
+        if self.trace is not None:
+            self.trace.meter(
+                "collective_bytes_in", nbytes_in, phase=self._phase
+            )
 
     def record_barrier(self) -> None:
         self.barrier_calls += 1

@@ -45,13 +45,20 @@ def test_merge_bench_reports(tmp_path):
             {"copy_mode": "frames", "speedup": 2.8},
         ]})
     )
+    (tmp_path / "BENCH_obs.json").write_text(
+        json.dumps({"rows": [
+            {"variant": "untraced", "seconds": 1.0},
+            {"variant": "traced", "seconds": 1.05, "overhead": 1.05},
+        ]})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 3
-    assert sorted(report["benchmarks"]) == ["swap", "sweep", "wire"]
+    assert report["count"] == 4
+    assert sorted(report["benchmarks"]) == ["obs", "swap", "sweep", "wire"]
     assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5
     assert report["benchmarks"]["wire"]["rows"][1]["speedup"] == 2.8
+    assert report["benchmarks"]["obs"]["rows"][1]["overhead"] == 1.05
     assert json.loads(out.read_text()) == report
 
 

@@ -62,6 +62,78 @@ class TestCluster:
             capsys.readouterr().out
 
 
+class TestTraceAndInspect:
+    def test_cluster_trace_then_inspect(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.json"
+        rc = main([
+            "cluster", "--dataset", "dblp", "--scale", "0.05",
+            "--method", "distributed", "--ranks", "2",
+            "--trace", str(trace_path),
+        ])
+        assert rc == 0
+        assert "run trace written" in capsys.readouterr().out
+
+        perfetto = tmp_path / "run.perfetto.json"
+        rc = main([
+            "inspect", str(trace_path),
+            "--perfetto", str(perfetto), "--top", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slowest rank per span" in out
+        assert "convergence by (level, round)" in out
+        assert "communication by phase" in out
+        assert "Perfetto trace written" in out
+        trace = json.loads(perfetto.read_text())
+        tids = {
+            e["tid"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert tids == {0, 1}  # one track per rank
+
+    def test_trace_on_sequential(self, tmp_path, capsys):
+        trace_path = tmp_path / "seq.json"
+        rc = main([
+            "cluster", "--dataset", "dblp", "--scale", "0.05",
+            "--method", "sequential", "--trace", str(trace_path),
+        ])
+        assert rc == 0
+        assert trace_path.exists()
+
+    def test_trace_ignored_for_baselines(self, tmp_path, capsys):
+        trace_path = tmp_path / "nope.json"
+        rc = main([
+            "cluster", "--dataset", "dblp", "--scale", "0.05",
+            "--method", "louvain", "--trace", str(trace_path),
+        ])
+        assert rc == 0
+        assert not trace_path.exists()
+        assert "--trace is not supported" in capsys.readouterr().err
+
+    def test_inspect_rejects_non_artifact(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError, match="not a run-trace artifact"):
+            main(["inspect", str(bad)])
+
+    def test_log_level_flag(self, tmp_path, capsys):
+        rc = main([
+            "--log-level", "WARNING",
+            "cluster", "--dataset", "dblp", "--scale", "0.05",
+            "--method", "sequential",
+        ])
+        assert rc == 0
+        import logging
+
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.WARNING
+        assert any(
+            getattr(h, "_repro_rank_handler", False) for h in logger.handlers
+        )
+
+
 class TestPartition:
     def test_partition_report(self, capsys):
         rc = main(["partition", "--dataset", "uk2005", "--scale", "0.2",

@@ -1,0 +1,409 @@
+"""Run-trace subsystem: tracer core, solver wiring, artifact export.
+
+The two load-bearing guarantees are pinned here:
+
+* **non-interference** — traced and untraced runs are bitwise-identical
+  (memberships, codelengths, per-round histories), because the trace
+  only observes;
+* **reconciliation** — the per-phase byte/message totals recomputed
+  from the meter events equal the :class:`CommLedger` aggregates
+  exactly (the trace is a superset of the ledger, not an estimate).
+"""
+
+import json
+import logging
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedInfomap,
+    InfomapConfig,
+    SequentialInfomap,
+    distributed_infomap,
+    sequential_infomap,
+)
+from repro.graph import ring_of_cliques
+from repro.obs import (
+    ARTIFACT_SCHEMA,
+    NULL_BUFFER,
+    NullTracer,
+    RankContextFilter,
+    Tracer,
+    build_manifest,
+    build_run_artifact,
+    config_dict,
+    convergence_rows,
+    counter_final_values,
+    get_logger,
+    graph_fingerprint,
+    load_run_artifact,
+    phase_byte_totals,
+    span_seconds_by_rank,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_run_artifact,
+)
+from repro.simmpi import run_spmd
+
+
+# ---------------------------------------------------------------------------
+# Tracer core
+# ---------------------------------------------------------------------------
+
+class TestTracerCore:
+    def test_span_and_instant_events(self):
+        t = Tracer()
+        buf = t.for_rank(0)
+        with buf.span("block", phase="other"):
+            pass
+        buf.instant("tick", args={"k": 1})
+        events = t.merged_events()
+        assert [e["kind"] for e in events] == ["span", "instant"]
+        assert events[0]["dur_us"] >= 0.0
+        assert events[0]["phase"] == "other"
+        assert events[1]["args"] == {"k": 1}
+
+    def test_context_tags_stamped_and_cleared(self):
+        t = Tracer()
+        buf = t.for_rank(0)
+        buf.set_context(level=2, round=5)
+        buf.instant("a")
+        buf.set_context(round=None)  # level untouched
+        buf.instant("b")
+        a, b = t.merged_events()
+        assert (a["level"], a["round"]) == (2, 5)
+        assert b["level"] == 2 and "round" not in b
+
+    def test_meter_tracks_cumulative_and_delta(self):
+        t = Tracer()
+        buf = t.for_rank(0)
+        buf.meter("p2p_bytes_sent", 100, phase="alpha")
+        buf.meter("p2p_bytes_sent", 50, phase="beta")
+        e1, e2 = t.merged_events()
+        assert (e1["value"], e1["delta"]) == (100, 100)
+        assert (e2["value"], e2["delta"]) == (150, 50)
+        assert e2["cat"] == "comm"
+
+    def test_merge_is_rank_major_deterministic(self):
+        t = Tracer()
+        # Interleave writes from two threads; merged order must still
+        # be rank-major with per-rank append order.
+        def writer(rank):
+            buf = t.for_rank(rank)
+            for i in range(50):
+                buf.instant(f"e{i}")
+
+        threads = [threading.Thread(target=writer, args=(r,)) for r in (1, 0)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        events = t.merged_events()
+        assert [e["rank"] for e in events] == [0] * 50 + [1] * 50
+        for rank in (0, 1):
+            names = [e["name"] for e in events if e["rank"] == rank]
+            assert names == [f"e{i}" for i in range(50)]
+        assert t.nranks == 2 and t.ranks() == [0, 1]
+        assert t.num_events() == 100
+
+    def test_for_rank_returns_same_buffer(self):
+        t = Tracer()
+        assert t.for_rank(3) is t.for_rank(3)
+
+    def test_null_tracer_is_inert(self):
+        nt = NullTracer()
+        assert not nt.enabled
+        buf = nt.for_rank(0)
+        assert buf is NULL_BUFFER
+        assert not buf.enabled
+        with buf.span("x"):
+            pass
+        buf.instant("y")
+        buf.counter("z", 1.0)
+        buf.meter("w", 10)
+        buf.set_context(level=1, round=1)
+        assert nt.merged_events() == [] and nt.num_events() == 0
+        assert list(nt.iter_events()) == []
+        assert nt.nranks == 0 and nt.ranks() == []
+
+
+# ---------------------------------------------------------------------------
+# Non-interference: traced == untraced, bitwise
+# ---------------------------------------------------------------------------
+
+class TestNonInterference:
+    def test_sequential_bitwise_identical(self):
+        lg = ring_of_cliques(8, 6)
+        cfg = InfomapConfig(seed=11)
+        plain = sequential_infomap(lg.graph, cfg)
+        tracer = Tracer()
+        traced = sequential_infomap(lg.graph, cfg, tracer=tracer)
+        assert np.array_equal(plain.membership, traced.membership)
+        assert plain.codelength == traced.codelength
+        assert tracer.num_events() > 0
+
+    def test_distributed_bitwise_identical(self):
+        lg = ring_of_cliques(10, 5)
+        cfg = InfomapConfig(seed=7)
+        plain = distributed_infomap(lg.graph, 4, cfg)
+        tracer = Tracer()
+        traced = distributed_infomap(lg.graph, 4, cfg, tracer=tracer)
+        assert np.array_equal(plain.membership, traced.membership)
+        assert plain.codelength == traced.codelength
+        assert (
+            plain.extras["codelength_history"]
+            == traced.extras["codelength_history"]
+        )
+        assert tracer.ranks() == [0, 1, 2, 3]
+
+    def test_config_tracer_field_is_honoured(self):
+        lg = ring_of_cliques(6, 5)
+        tracer = Tracer()
+        cfg = InfomapConfig(seed=3, tracer=tracer)
+        sequential_infomap(lg.graph, cfg)
+        assert tracer.num_events() > 0
+        # tracer is excluded from equality.
+        assert cfg == InfomapConfig(seed=3)
+
+    def test_object_apis_accept_tracer(self):
+        lg = ring_of_cliques(6, 5)
+        t1, t2 = Tracer(), Tracer()
+        SequentialInfomap(tracer=t1).run(lg.graph)
+        DistributedInfomap(nranks=2, tracer=t2).run(lg.graph)
+        assert t1.num_events() > 0
+        assert t2.ranks() == [0, 1]
+
+    def test_trace_rides_on_spmd_result(self):
+        tracer = Tracer()
+
+        def prog(comm):
+            comm.trace.instant("hello")
+            return comm.rank
+
+        res = run_spmd(prog, 2, tracer=tracer)
+        assert res.trace is tracer
+        assert [e["rank"] for e in tracer.merged_events()] == [0, 1]
+        assert run_spmd(prog, 2).trace is None
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation with the communication ledger
+# ---------------------------------------------------------------------------
+
+class TestLedgerReconciliation:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        lg = ring_of_cliques(10, 5)
+        cfg = InfomapConfig(seed=5)
+        tracer = Tracer()
+
+        # Re-run through run_spmd indirectly via the public driver; the
+        # ledger is in result.extras as a snapshot, so run the raw SPMD
+        # job for an object-level ledger instead.
+        result = distributed_infomap(lg.graph, 4, cfg, tracer=tracer)
+        return lg, cfg, tracer, result
+
+    def test_phase_bytes_match_ledger_snapshot_exactly(self, traced_run):
+        _lg, _cfg, tracer, result = traced_run
+        totals = phase_byte_totals(tracer.merged_events())
+        snap = result.extras["comm_snapshot"]
+        # Ledger per-rank bytes_by_phase must equal the per-rank delta
+        # sums — same numbers, independently accumulated.
+        want: dict[str, dict[int, int]] = {}
+        want_msgs: dict[str, int] = {}
+        for s in snap:
+            for ph, b in s["bytes_by_phase"].items():
+                want.setdefault(ph, {})[s["rank"]] = b
+            for ph, m in s["messages_by_phase"].items():
+                want_msgs[ph] = want_msgs.get(ph, 0) + m
+        got = {
+            ph: slot["bytes_per_rank"] for ph, slot in totals.items()
+        }
+        # Drop zero-byte ledger entries (phase tagged but no traffic).
+        want = {
+            ph: {r: b for r, b in per.items() if b}
+            for ph, per in want.items()
+        }
+        want = {ph: per for ph, per in want.items() if per}
+        assert got == want
+        assert {ph: slot["messages"] for ph, slot in totals.items()} == {
+            ph: m for ph, m in want_msgs.items() if m
+        }
+
+    def test_total_bytes_match(self, traced_run):
+        _lg, _cfg, tracer, result = traced_run
+        totals = phase_byte_totals(tracer.merged_events())
+        assert (
+            sum(slot["bytes"] for slot in totals.values())
+            == result.extras["total_comm_bytes"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Artifact build / write / load, convergence, Chrome export
+# ---------------------------------------------------------------------------
+
+class TestRunArtifact:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        lg = ring_of_cliques(10, 5)
+        cfg = InfomapConfig(seed=5)
+        tracer = Tracer()
+        result = distributed_infomap(lg.graph, 4, cfg, tracer=tracer)
+        manifest = build_manifest(
+            config=cfg, nranks=4, copy_mode="frames", graph=lg.graph,
+            method="distributed",
+        )
+        return build_run_artifact(tracer, result, manifest=manifest), result
+
+    def test_schema_and_summary(self, artifact):
+        art, result = artifact
+        assert art["schema"] == ARTIFACT_SCHEMA
+        assert art["nranks"] == 4
+        assert art["num_events"] == len(art["events"])
+        assert art["result"]["codelength"] == float(result.codelength)
+        assert (
+            art["result"]["codelength_history"]
+            == [float(x) for x in result.extras["codelength_history"]]
+        )
+
+    def test_convergence_rows_track_result(self, artifact):
+        art, result = artifact
+        rows = art["convergence"]
+        assert rows, "traced distributed run must produce round samples"
+        assert rows == convergence_rows(art["events"])
+        # Rows are (level, round)-sorted, every rank contributed, and
+        # the last round's codelength is the final one.
+        keys = [(r["level"], r["round"]) for r in rows]
+        assert keys == sorted(keys)
+        assert all(r["ranks"] == 4 for r in rows)
+        assert rows[-1]["codelength"] == pytest.approx(
+            result.codelength, abs=1e-12
+        )
+        history = result.extras["codelength_history"]
+        assert [r["codelength"] for r in rows] == history[1:]
+
+    def test_round_trip_and_schema_guard(self, artifact, tmp_path):
+        art, _ = artifact
+        path = tmp_path / "run.json"
+        write_run_artifact(path, art)
+        loaded = load_run_artifact(path)
+        assert loaded["num_events"] == art["num_events"]
+        assert loaded["convergence"] == art["convergence"]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError, match="not a run-trace artifact"):
+            load_run_artifact(bad)
+
+    def test_chrome_trace_valid(self, artifact, tmp_path):
+        art, _ = artifact
+        ct = to_chrome_trace(art)
+        assert ct["displayTimeUnit"] == "ms"
+        evs = ct["traceEvents"]
+        meta = [e for e in evs if e["ph"] == "M"]
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names == {r: f"rank {r}" for r in range(4)}
+        spans = [e for e in evs if e["ph"] == "X"]
+        assert spans and all(
+            "dur" in e and e["ts"] >= 0.0 for e in spans
+        )
+        counters = [e for e in evs if e["ph"] == "C"]
+        assert counters and all(
+            e["name"].startswith(f"rank{e['tid']}/") for e in counters
+        )
+        # File form is valid JSON loadable by Perfetto.
+        out = tmp_path / "trace.json"
+        write_chrome_trace(out, art)
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_span_seconds_and_counters(self, artifact):
+        art, _ = artifact
+        spans = span_seconds_by_rank(art["events"])
+        # Fig-8 phases appear as spans on every rank.
+        assert set(spans["find_best_module"]) == {0, 1, 2, 3}
+        assert all(v >= 0.0 for v in spans["find_best_module"].values())
+        finals = counter_final_values(art["events"])
+        assert "p2p_bytes_sent" in finals
+
+
+class TestManifest:
+    def test_graph_fingerprint_stable_and_sensitive(self):
+        g1 = ring_of_cliques(4, 5).graph
+        g2 = ring_of_cliques(4, 5).graph
+        g3 = ring_of_cliques(5, 4).graph
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+        assert graph_fingerprint(g1) != graph_fingerprint(g3)
+
+    def test_config_dict_excludes_tracer(self):
+        cfg = InfomapConfig(seed=9, tracer=Tracer())
+        d = config_dict(cfg)
+        assert "tracer" not in d
+        assert d["seed"] == 9
+        json.dumps(d)  # must be JSON-serializable
+
+    def test_build_manifest_fields(self):
+        lg = ring_of_cliques(3, 4)
+        cfg = InfomapConfig(seed=2)
+        m = build_manifest(
+            config=cfg, nranks=8, copy_mode="frames", graph=lg.graph,
+            method="distributed",
+        )
+        assert m["nranks"] == 8 and m["method"] == "distributed"
+        assert m["seed"] == 2
+        assert m["graph"]["num_vertices"] == lg.graph.num_vertices
+        assert len(m["graph"]["fingerprint"]) == 64
+        json.dumps(m)
+
+
+# ---------------------------------------------------------------------------
+# Rank-aware logging
+# ---------------------------------------------------------------------------
+
+class TestRankLogging:
+    def test_filter_reads_simmpi_thread_name(self):
+        records = []
+
+        handler = logging.Handler()
+        handler.emit = records.append  # type: ignore[method-assign]
+        handler.addFilter(RankContextFilter())
+        log = get_logger("test_rank_filter")
+        log.addHandler(handler)
+        log.setLevel(logging.INFO)
+        try:
+            def prog(comm):
+                log.info("from rank")
+                return None
+
+            run_spmd(prog, 2)
+        finally:
+            log.removeHandler(handler)
+        ranks = sorted(r.rank for r in records)
+        assert ranks == ["0", "1"]
+
+    def test_filter_outside_spmd_is_dash(self):
+        rec = logging.LogRecord(
+            "repro", logging.INFO, __file__, 1, "m", (), None
+        )
+        assert RankContextFilter().filter(rec) is True
+        assert rec.rank == "-"
+
+    def test_explicit_extra_rank_wins(self):
+        rec = logging.LogRecord(
+            "repro", logging.INFO, __file__, 1, "m", (), None
+        )
+        rec.rank = 7
+        RankContextFilter().filter(rec)
+        assert rec.rank == 7
+
+    def test_default_is_silent(self):
+        # The package logger has a NullHandler and does not propagate
+        # noise when unconfigured.
+        log = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in log.handlers
+        )

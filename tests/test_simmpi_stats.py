@@ -40,6 +40,53 @@ class TestPayloadNbytes:
         obj = {"a": [1, 2.0, "three"], "b": np.ones(4)}
         assert payload_nbytes(obj) == payload_nbytes(obj)
 
+    def test_set_and_frozenset(self):
+        assert payload_nbytes({1, 2, 3}) == 16 + 3 * 8
+        assert payload_nbytes(frozenset({1.0, 2.0})) == 16 + 2 * 8
+        assert payload_nbytes(set()) == 16
+
+    def test_dict_like_object_recurses_into_dict(self):
+        class Record:
+            def __init__(self):
+                self.a = 1
+                self.b = np.zeros(10)
+
+        # 32 (object) + 24 (dict) + keys/values.
+        want = 32 + payload_nbytes({"a": 1, "b": np.zeros(10)})
+        assert payload_nbytes(Record()) == want
+
+    def test_slots_object_recurses_into_slots(self):
+        class Slotted:
+            __slots__ = ("x", "y")
+
+            def __init__(self):
+                self.x = 7
+                self.y = b"abcd"
+
+        assert payload_nbytes(Slotted()) == 32 + 8 + 4
+
+    def test_slots_object_with_unset_slot(self):
+        class Sparse:
+            __slots__ = ("x", "y")
+
+            def __init__(self):
+                self.x = 7  # y never assigned -> counted as None
+
+        assert payload_nbytes(Sparse()) == 32 + 8 + 1
+
+    def test_deep_nesting_falls_back_to_flat_estimate(self):
+        # >16 levels: recursion stops, but the estimate stays finite
+        # and deterministic instead of blowing the stack.
+        deep = [1]
+        for _ in range(40):
+            deep = [deep]
+        n = payload_nbytes(deep)
+        assert n > 0
+        assert n == payload_nbytes(deep)
+        # Shallow nesting at the same leaf count is fully recursive and
+        # therefore larger (16 bytes of overhead per level).
+        assert n < 16 * 41 + 8
+
 
 def test_ledger_counts_p2p_bytes():
     def prog(comm):
@@ -72,6 +119,37 @@ def test_phase_attribution():
     for s in res.ledger:
         assert s.bytes_by_phase["alpha"] > 0
         assert "beta" in s.bytes_by_phase or s.collective_calls > 0
+
+
+def test_meter_events_follow_phase_switch():
+    # The trace meters must attribute each message to the phase active
+    # when it was sent, matching the ledger split across a switch.
+    from repro.obs import Tracer, phase_byte_totals
+
+    tracer = Tracer()
+
+    def prog(comm):
+        comm.set_phase("alpha")
+        comm.send(b"x" * 64, (comm.rank + 1) % comm.size)
+        comm.recv()
+        comm.set_phase("beta")
+        comm.send(b"y" * 256, (comm.rank + 1) % comm.size)
+        comm.recv()
+        comm.barrier()
+        return None
+
+    res = run_spmd(prog, 2, tracer=tracer)
+    totals = phase_byte_totals(tracer.merged_events())
+    for phase in ("alpha", "beta"):
+        ledger_bytes = sum(
+            s.bytes_by_phase.get(phase, 0) for s in res.ledger
+        )
+        ledger_msgs = sum(
+            s.messages_by_phase.get(phase, 0) for s in res.ledger
+        )
+        assert totals[phase]["bytes"] == ledger_bytes
+        assert totals[phase]["messages"] == ledger_msgs
+    assert totals["beta"]["bytes"] > totals["alpha"]["bytes"]
 
 
 def test_ledger_aggregates():

@@ -51,6 +51,54 @@ class TestPhaseTimer:
         with t.phase("swap"):
             assert comm.stats.phase == "swap"
 
+    def test_restores_previous_phase_on_exit(self):
+        # Regression: traffic after a phase block must not stay
+        # attributed to the phase that happened to exit last.
+        comm = SerialCommunicator()
+        t = PhaseTimer(comm)
+        comm.set_phase("outer")
+        with t.phase("swap"):
+            assert comm.stats.phase == "swap"
+        assert comm.stats.phase == "outer"
+        comm.send(b"x" * 100, 0)  # loopback traffic after the block
+        comm.recv()
+        assert comm.stats.bytes_by_phase.get("swap", 0) == 0
+        assert comm.stats.bytes_by_phase["outer"] > 0
+
+    def test_restores_default_phase_when_none_was_set(self):
+        comm = SerialCommunicator()
+        t = PhaseTimer(comm)
+        assert comm.stats.phase == "default"
+        with t.phase("swap"):
+            pass
+        assert comm.stats.phase == "default"
+
+    def test_restores_phase_after_exception(self):
+        comm = SerialCommunicator()
+        t = PhaseTimer(comm)
+        comm.set_phase("outer")
+        with pytest.raises(ValueError):
+            with t.phase("swap"):
+                raise ValueError("boom")
+        assert comm.stats.phase == "outer"
+
+    def test_emits_trace_spans_and_work_counters(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        buf = tracer.for_rank(0)
+        t = PhaseTimer(trace=buf)
+        with t.phase("find_best_module"):
+            pass
+        t.add_work("find_best_module", 12)
+        t.add_work("find_best_module", 3)
+        events = tracer.merged_events()
+        spans = [e for e in events if e["kind"] == "span"]
+        assert [s["name"] for s in spans] == ["find_best_module"]
+        counters = [e for e in events if e["kind"] == "counter"]
+        assert [c["value"] for c in counters] == [12, 15]
+        assert counters[-1]["name"] == "work/find_best_module"
+
     def test_snapshot_is_copy(self):
         t = PhaseTimer()
         t.add_work("x", 1)
