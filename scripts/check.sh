@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-shot local gate: tier-1 suite, then the opt-in benchmark guards
+# on the reduced smoke profile.
+#
+#   scripts/check.sh            # tier-1 + smoke-profile bench guards
+#   scripts/check.sh --fast     # tier-1 only
+#
+# Tier-1 must pass unchanged.  The bench stage runs every
+# ``--run-bench`` guard (wire throughput, swap cycle, tracing
+# overhead, procs-vs-threads scaling) with ``REPRO_BENCH_SMOKE=1`` so
+# the whole gate finishes in a few minutes; the procs guard's
+# backend-equivalence assertions (bitwise memberships, codelength
+# trajectories, per-phase logical ledger totals) run at full strength
+# either way — an equivalence mismatch fails this script.  Wall-clock
+# speedup thresholds auto-skip on hosts without enough cores.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier 1: tests/ =="
+python -m pytest -x -q
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== skipping bench guards (--fast) =="
+    exit 0
+fi
+
+echo "== bench guards (smoke profile) =="
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/ --run-bench -q
+
+echo "== check.sh: all gates passed =="

@@ -16,6 +16,8 @@ Examples::
 
     repro-infomap cluster --dataset dblp --method distributed --ranks 8
     repro-infomap cluster --dataset dblp --method distributed \\
+        --ranks auto --backend procs
+    repro-infomap cluster --dataset dblp --method distributed \\
         --ranks 8 --trace run.json
     repro-infomap inspect run.json --perfetto run.perfetto.json
     repro-infomap cluster --input graph.txt --method sequential -o out.tsv
@@ -31,7 +33,29 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_ranks"]
+
+
+def parse_ranks(value: str) -> int:
+    """``--ranks`` argument type: an integer, or ``auto``.
+
+    ``auto`` resolves to the host's CPU count (``os.cpu_count()``),
+    which is the natural rank count for the process backend — one
+    interpreter per core.  Falls back to 1 if the count is unknown.
+    """
+    if value.strip().lower() == "auto":
+        import os
+
+        return os.cpu_count() or 1
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"ranks must be >= 1, got {n}")
+    return n
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,8 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
                  "gossipmap", "relaxmap"],
         default="sequential",
     )
-    pc.add_argument("--ranks", type=int, default=4,
-                    help="simulated MPI ranks (distributed/gossipmap)")
+    pc.add_argument("--ranks", type=parse_ranks, default=4, metavar="N|auto",
+                    help="simulated MPI ranks (distributed/gossipmap); "
+                         "'auto' = one rank per CPU core")
+    pc.add_argument(
+        "--backend",
+        choices=["threads", "procs", "serial"],
+        default="threads",
+        help="SPMD execution backend: 'threads' (default, GIL-bound), "
+             "'procs' (one process per rank over shared memory — same "
+             "results, real parallelism), 'serial' (single rank only)",
+    )
     pc.add_argument("--output", "-o", help="write 'vertex<TAB>module' here")
     pc.add_argument("--d-high", type=int, default=None,
                     help="delegate degree threshold (default: adaptive)")
@@ -125,7 +158,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .metrics import nmi
 
     graph, labels = _load_graph(args)
-    cfg_kwargs: dict = {"seed": args.seed, "d_high": args.d_high}
+    cfg_kwargs: dict = {
+        "seed": args.seed,
+        "d_high": args.d_high,
+        "backend": args.backend,
+    }
     if args.batch_size is not None:
         cfg_kwargs["batch_size"] = args.batch_size
     cfg = InfomapConfig(**cfg_kwargs)

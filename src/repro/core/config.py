@@ -92,6 +92,15 @@ class InfomapConfig:
             instead.  Set to 0 for absolute-threshold behaviour.
         max_rounds: cap on move/swap rounds inside one distributed
             level (safety net; convergence normally ends rounds).
+        backend: SPMD execution backend for distributed runs.
+            ``"threads"`` (default) runs each rank as an OS thread —
+            cheap, but the GIL serializes rank compute; ``"procs"``
+            runs each rank as an OS process with shared-memory frame
+            transport (:mod:`repro.simmpi.procs`) — real parallelism
+            with identical results and ledger accounting; ``"serial"``
+            insists on the single-rank in-process path.  An explicit
+            ``backend=`` argument to the solver entry points overrides
+            this field.
         batch_size: vertices scored per batched move-evaluation call
             (see :mod:`repro.core.kernels`).  The batch path is
             decision-equivalent to the scalar kernels by construction
@@ -131,6 +140,7 @@ class InfomapConfig:
     round_threshold_rel: float = 1e-4
     max_rounds: int = 60
     batch_size: int = 256
+    backend: str = "threads"
     tracer: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -159,6 +169,11 @@ class InfomapConfig:
             raise ValueError(
                 "move_rule must be 'map_equation' or 'max_flow', "
                 f"got {self.move_rule!r}"
+            )
+        if self.backend not in ("threads", "procs", "serial"):
+            raise ValueError(
+                "backend must be 'threads', 'procs' or 'serial', "
+                f"got {self.backend!r}"
             )
         if self.delegate_consensus not in ("aggregate", "min_local"):
             raise ValueError(

@@ -1215,6 +1215,7 @@ def distributed_infomap(
     copy_mode: str = "frames",
     timeout: float = 600.0,
     tracer: Any = None,
+    backend: str | None = None,
 ) -> ClusteringResult:
     """Run the distributed Infomap algorithm on *nranks* simulated ranks.
 
@@ -1227,9 +1228,15 @@ def distributed_infomap(
     ``config.tracer``) every rank records phase spans, per-round
     convergence samples and per-message byte meters on its own
     timeline; tracing never changes any clustering decision.
+
+    *backend* picks the SPMD execution backend (``"threads"``,
+    ``"procs"`` or ``"serial"``; ``None`` defers to ``config.backend``).
+    Backends are result-equivalent: memberships, codelength
+    trajectories and logical ledger totals are identical.
     """
     cfg = config or InfomapConfig()
     tr = tracer if tracer is not None else cfg.tracer
+    bk = backend if backend is not None else cfg.backend
     if graph.num_edges == 0:
         raise ValueError("cannot cluster a graph with no edges")
 
@@ -1249,13 +1256,19 @@ def distributed_infomap(
         nranks=nranks,
     )
 
+    # The shipped config must not carry the tracer object: ranks reach
+    # their trace buffers through the communicator (the engine attaches
+    # them), and a Tracer holds a threading.Lock that cannot cross the
+    # process-backend boundary.
+    ship_cfg = cfg.with_(tracer=None) if cfg.tracer is not None else cfg
     res = run_spmd(
         _rank_program,
         nranks,
-        fn_args=(views, cfg, graph.num_vertices),
+        fn_args=(views, ship_cfg, graph.num_vertices),
         copy_mode=copy_mode,
         timeout=timeout,
         tracer=tr,
+        backend=bk,
     )
 
     # Assemble the flat membership from per-rank exactly-once pieces.
@@ -1381,6 +1394,9 @@ class DistributedInfomap:
             ``"frames"`` (default) ships numpy columns as typed raw
             frames — no pickle on the hot path; ``"pickle"`` is the
             equivalence oracle (identical decoded values, slower).
+        backend: SPMD execution backend — ``"threads"``, ``"procs"``
+            (process-per-rank, shared-memory transport) or ``"serial"``;
+            ``None`` defers to ``config.backend``.
     """
 
     def __init__(
@@ -1392,6 +1408,7 @@ class DistributedInfomap:
         copy_mode: str = "frames",
         timeout: float = 600.0,
         tracer: Any = None,
+        backend: str | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -1401,6 +1418,7 @@ class DistributedInfomap:
         self.copy_mode = copy_mode
         self.timeout = timeout
         self.tracer = tracer
+        self.backend = backend
 
     def run(self, graph: Graph) -> ClusteringResult:
         return distributed_infomap(
@@ -1411,4 +1429,5 @@ class DistributedInfomap:
             copy_mode=self.copy_mode,
             timeout=self.timeout,
             tracer=self.tracer,
+            backend=self.backend,
         )

@@ -292,6 +292,29 @@ class Tracer:
                 self._buffers[rank] = buf
             return buf
 
+    def adopt_rank_events(
+        self,
+        rank: int,
+        events: "list[dict[str, Any]]",
+        cumulative: "dict[str, float] | None" = None,
+    ) -> None:
+        """Merge events recorded out-of-process into *rank*'s buffer.
+
+        The process backend's ranks live in their own address spaces, so
+        each builds a private :class:`RankTraceBuffer` (seeded with this
+        tracer's ``epoch`` — ``perf_counter`` is ``CLOCK_MONOTONIC`` on
+        Linux and therefore comparable across processes on one host) and
+        ships ``(events, _cum)`` back over the result channel at
+        teardown.  Appending here keeps ``merged_events()``'s rank-major
+        determinism identical to the thread backend; carrying the
+        cumulative meter totals over keeps a later ``meter`` call on the
+        adopted buffer monotone.
+        """
+        buf = self.for_rank(rank)
+        buf.events.extend(events)
+        if cumulative:
+            buf._cum.update(cumulative)
+
     @property
     def nranks(self) -> int:
         """Number of rank tracks (max rank seen + 1)."""

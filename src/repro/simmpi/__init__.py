@@ -26,7 +26,8 @@ Design notes are in each module; the porting seam to real mpi4py is the
 
 from .comm import ANY_SOURCE, ANY_TAG, Communicator, Request, resolve_op
 from .costmodel import CostAccumulator, MachineModel, StepCost, ledger_comm_time
-from .engine import SpmdResult, run_spmd
+from .engine import BACKENDS, SpmdResult, run_spmd
+from .procs import ProcCommunicator, run_spmd_procs
 from .errors import (
     AbortError,
     CollectiveMismatchError,
@@ -50,6 +51,7 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "AbortError",
+    "BACKENDS",
     "CollectiveMismatchError",
     "CommLedger",
     "Communicator",
@@ -62,6 +64,7 @@ __all__ = [
     "MachineModel",
     "Mailbox",
     "PhaseBytes",
+    "ProcCommunicator",
     "RankStats",
     "Request",
     "SerialCommunicator",
@@ -77,4 +80,5 @@ __all__ = [
     "payload_nbytes",
     "resolve_op",
     "run_spmd",
+    "run_spmd_procs",
 ]

@@ -254,7 +254,9 @@ class Communicator(ABC):
         incoming = self.alltoall(out)
         return {src: p for src, p in enumerate(incoming) if p is not None}
 
-    def exchange(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
+    def exchange(
+        self, msgs: Mapping[int, Any], *, known_counts: "int | None" = None
+    ) -> dict[int, Any]:
         """Sparse personalized exchange: send ``msgs[dest]`` to each *dest*,
         return ``{src: payload}`` for every rank that addressed us, in
         ascending source order.
@@ -263,11 +265,18 @@ class Communicator(ABC):
         Information* step.  On a real cluster it maps onto
         ``isend``/``irecv`` pairs (or ``MPI_Neighbor_alltoallv``); the
         base implementation uses the dense :meth:`exchange_dense` path;
-        :class:`~repro.simmpi.threadcomm.ThreadCommunicator` overrides
-        it with true point-to-point sends so only real traffic moves
-        and is metered.  Like the collectives, ``exchange`` must be
-        called by every rank (possibly with an empty mapping).
+        the thread and process communicators override it (via
+        :class:`~repro.simmpi.collectives.CollectiveOpsMixin`) with
+        true point-to-point sends so only real traffic moves and is
+        metered.  Like the collectives, ``exchange`` must be called by
+        every rank (possibly with an empty mapping).
+
+        *known_counts* — the number of incoming messages this rank
+        expects — lets a caller with a static destination set skip the
+        counts handshake on the point-to-point implementations; the
+        dense path needs no handshake, so it ignores the hint.
         """
+        del known_counts  # dense alltoall is self-synchronizing
         return self.exchange_dense(msgs)
 
 

@@ -1,11 +1,16 @@
 """SPMD job launcher: the simulation's ``mpiexec``.
 
-:func:`run_spmd` runs one Python function on ``nranks`` ranks — each
-rank its own OS thread with a private :class:`ThreadCommunicator` —
-joins them, and returns every rank's return value together with the
-communication ledger.  It is the only entry point the rest of the
-library uses to go parallel, so swapping the backend (threads here,
-``mpiexec`` + mpi4py on a cluster) touches exactly one seam.
+:func:`run_spmd` runs one Python function on ``nranks`` ranks and
+returns every rank's return value together with the communication
+ledger.  It is the only entry point the rest of the library uses to go
+parallel, so the backend is a single seam: ``"threads"`` (default) runs
+each rank as an OS thread with a private :class:`ThreadCommunicator`;
+``"procs"`` runs each rank as an OS process with traffic over
+shared-memory rings (:mod:`repro.simmpi.procs`) — real parallelism for
+compute-bound rank programs; ``"serial"`` insists on the in-process
+single-rank path (``nranks == 1`` short-circuits to it regardless of
+backend).  A real cluster deployment (``mpiexec`` + mpi4py) is one more
+value of the same seam.
 
 Failure semantics match ``MPI_Abort``: the first rank to raise poisons
 the job; every other rank's next blocking call raises
@@ -25,9 +30,12 @@ from .serial import SerialCommunicator
 from .stats import CommLedger
 from .threadcomm import JobContext, ThreadCommunicator
 
-__all__ = ["SpmdResult", "run_spmd"]
+__all__ = ["SpmdResult", "run_spmd", "BACKENDS"]
 
 log = get_logger("simmpi.engine")
+
+#: Valid values for :func:`run_spmd`'s ``backend``.
+BACKENDS = ("threads", "procs", "serial")
 
 
 @dataclass
@@ -76,6 +84,7 @@ def run_spmd(
     timeout: float = 300.0,
     op_timeout: float = 60.0,
     tracer: Any = None,
+    backend: str = "threads",
 ) -> SpmdResult:
     """Run ``fn(comm, *fn_args, **fn_kwargs)`` on *nranks* ranks.
 
@@ -86,6 +95,13 @@ def run_spmd(
             the communicator, as one would with real MPI).
         nranks: number of ranks.  ``1`` short-circuits to a
             :class:`SerialCommunicator` on the calling thread.
+        backend: ``"threads"`` (default) runs ranks as OS threads —
+            cheap to launch, but the GIL serializes rank compute;
+            ``"procs"`` runs ranks as OS processes over shared-memory
+            rings (:func:`repro.simmpi.procs.run_spmd_procs`) — real
+            parallelism, identical semantics and ledger accounting;
+            ``"serial"`` demands the single-rank in-process path and
+            rejects ``nranks > 1``.
         copy_mode: ``"frames"`` (default) encodes every payload with
             the typed frame codec (:mod:`repro.simmpi.wire`) — numpy
             columns cross as raw aligned blobs, one copy out, zero
@@ -112,6 +128,14 @@ def run_spmd(
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if backend == "serial" and nranks > 1:
+        raise ValueError(
+            f'backend="serial" supports exactly 1 rank, got nranks={nranks}'
+        )
     kwargs = fn_kwargs or {}
     tracing = tracer is not None and getattr(tracer, "enabled", False)
 
@@ -125,16 +149,20 @@ def run_spmd(
             trace=tracer if tracing else None,
         )
 
+    if backend == "procs":
+        from .procs import run_spmd_procs
+
+        return run_spmd_procs(
+            fn, nranks,
+            fn_args=fn_args, fn_kwargs=kwargs, copy_mode=copy_mode,
+            timeout=timeout, op_timeout=op_timeout, tracer=tracer,
+        )
+
     log.debug(
         "launching SPMD job: nranks=%d copy_mode=%s tracing=%s",
         nranks, copy_mode, tracing,
     )
     ctx = JobContext(nranks, copy_mode=copy_mode, op_timeout=op_timeout)
-    if tracing:
-        # Buffers are created on the launcher thread, before any rank
-        # runs, so the per-rank hot paths never touch the tracer lock.
-        for r in range(nranks):
-            ctx.ledger.for_rank(r).trace = tracer.for_rank(r)
     outcomes = [_RankOutcome() for _ in range(nranks)]
 
     def worker(rank: int) -> None:
@@ -154,8 +182,26 @@ def run_spmd(
         threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
         for r in range(nranks)
     ]
-    for t in threads:
-        t.start()
+    try:
+        if tracing:
+            # Buffers are created on the launcher thread, before any
+            # rank runs, so the per-rank hot paths never touch the
+            # tracer lock.
+            for r in range(nranks):
+                ctx.ledger.for_rank(r).trace = tracer.for_rank(r)
+        for t in threads:
+            t.start()
+    except BaseException as setup_exc:
+        # Partial-launch teardown: a tracer attach or thread start that
+        # raises mid-setup must not leave already-started ranks blocked
+        # in a collective forever.  Poison the job, give the started
+        # ranks a bounded window to unwind, then re-raise the setup
+        # failure (not an abort artifact).
+        ctx.abort(-1, setup_exc)
+        for t in threads:
+            if t.is_alive():
+                t.join(timeout=5.0)
+        raise
 
     import time
 
@@ -171,19 +217,28 @@ def run_spmd(
         t.join(timeout=5.0)
     stuck = [r for r, t in enumerate(threads) if t.is_alive()]
     if stuck:
-        raise DeadlockError(
+        err = DeadlockError(
             f"ranks {stuck} still blocked after {timeout:.1f}s job timeout"
         )
+        err.spmd_ledger = ctx.ledger
+        raise err
 
     for rank, out in enumerate(outcomes):
         if out.error is not None:
+            # Completed phases' meters survive the failure: callers can
+            # inspect what the job did up to the abort, on either
+            # backend, through the same attribute.
+            out.error.spmd_ledger = ctx.ledger
             raise out.error
     ab = ctx.abort_info()
     if ab is not None:
         failed_rank, cause = ab
         if isinstance(cause, DeadlockError):
+            cause.spmd_ledger = ctx.ledger
             raise cause
-        raise AbortError(failed_rank, cause)
+        err = AbortError(failed_rank, cause)
+        err.spmd_ledger = ctx.ledger
+        raise err
 
     return SpmdResult(
         results=[o.value for o in outcomes], ledger=ctx.ledger,

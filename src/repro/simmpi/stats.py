@@ -194,6 +194,31 @@ class RankStats:
     def total_messages(self) -> int:
         return self.p2p_messages_sent + self.collective_calls
 
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, Any]) -> "RankStats":
+        """Rebuild a stats object from a :meth:`snapshot` dict.
+
+        The inverse the process backend needs: each rank process meters
+        into its own private :class:`RankStats`, ships the snapshot back
+        over the result channel at teardown, and the parent rebuilds the
+        ledger entry from it — so ledger aggregation is backend-agnostic.
+        """
+        st = cls(rank=int(snap["rank"]))
+        for name in (
+            "p2p_messages_sent", "p2p_bytes_sent",
+            "p2p_messages_recv", "p2p_bytes_recv",
+            "collective_calls", "collective_bytes_in",
+            "collective_bytes_out", "barrier_calls",
+        ):
+            setattr(st, name, snap[name])
+        for name in (
+            "bytes_by_phase", "messages_by_phase",
+            "logical_bytes_by_phase", "encode_seconds_by_phase",
+            "decode_seconds_by_phase",
+        ):
+            getattr(st, name).update(snap[name])
+        return st
+
     def snapshot(self) -> dict[str, Any]:
         """A plain-dict copy safe to stash in experiment records."""
         return {
@@ -243,6 +268,18 @@ class CommLedger:
 
     def for_rank(self, rank: int) -> RankStats:
         return self._stats[rank]
+
+    def load_snapshot(self, rank: int, snap: Mapping[str, Any]) -> None:
+        """Replace *rank*'s stats with ones rebuilt from a snapshot dict.
+
+        Used by the process backend: counters accumulate in the rank's
+        own address space and are merged here at teardown, after which
+        every read-side aggregate behaves exactly as under the thread
+        backend.
+        """
+        st = RankStats.from_snapshot(snap)
+        st.rank = rank
+        self._stats[rank] = st
 
     def __iter__(self) -> Iterable[RankStats]:
         return iter(self._stats)

@@ -21,17 +21,15 @@ import itertools
 import threading
 from collections import deque
 from time import monotonic as _monotonic
-from typing import Any, Mapping, Sequence
+from typing import Any
 
-import numpy as np
-
-from .comm import ANY_SOURCE, ANY_TAG, Communicator, resolve_op
+from .collectives import EXCHANGE_TAG, CollectiveOpsMixin
+from .comm import ANY_SOURCE, ANY_TAG, Communicator
 from .errors import (
     AbortError,
     CollectiveMismatchError,
     DeadlockError,
     InvalidRankError,
-    InvalidTagError,
 )
 from .stats import CommLedger, RankStats
 from .wire import decode_payload, encode_payload
@@ -43,9 +41,9 @@ __all__ = ["JobContext", "ThreadCommunicator", "Mailbox"]
 #: the window where an abort lands between the flag check and the wait.
 _ABORT_CHECK_INTERVAL = 0.25
 
-#: Reserved tag for the sparse :meth:`ThreadCommunicator.exchange`
-#: protocol; user code must not send with this tag.
-_EXCHANGE_TAG = 1 << 30
+#: Backward-compatible alias; the reserved exchange tag now lives with
+#: the shared collective algorithms in :mod:`repro.simmpi.collectives`.
+_EXCHANGE_TAG = EXCHANGE_TAG
 
 
 class Mailbox:
@@ -195,8 +193,14 @@ class JobContext:
         return decode_payload(wire, self.copy_mode, stats)
 
 
-class ThreadCommunicator(Communicator):
-    """One rank's endpoint into a :class:`JobContext`."""
+class ThreadCommunicator(CollectiveOpsMixin, Communicator):
+    """One rank's endpoint into a :class:`JobContext`.
+
+    The collective algorithms (and their metering) come from
+    :class:`~repro.simmpi.collectives.CollectiveOpsMixin`; this class
+    supplies the transport hooks — the shared board + barrier for
+    collective exchanges and per-rank mailboxes for point-to-point.
+    """
 
     def __init__(self, ctx: JobContext, rank: int) -> None:
         if not (0 <= rank < ctx.size):
@@ -221,17 +225,15 @@ class ThreadCommunicator(Communicator):
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ThreadCommunicator rank={self._rank} size={self.size}>"
 
-    # -- validation helpers --------------------------------------------------------
-    def _check_peer(self, peer: int) -> None:
-        if not (0 <= peer < self.size):
-            raise InvalidRankError(peer, self.size)
+    # -- mixin hooks ---------------------------------------------------------------
+    def _encode(self, obj: Any) -> tuple[Any, int]:
+        return self._ctx.encode(obj, self._stats)
 
-    @staticmethod
-    def _check_tag(tag: int, *, allow_any: bool) -> None:
-        if tag == ANY_TAG and allow_any:
-            return
-        if tag < 0:
-            raise InvalidTagError(tag)
+    def _decode(self, wire: Any) -> Any:
+        return self._ctx.decode(wire, self._stats)
+
+    def _check_abort(self) -> None:
+        self._ctx.check_abort()
 
     # -- point to point ----------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -296,150 +298,3 @@ class ThreadCommunicator(Communicator):
         result = list(ctx.board)
         ctx.barrier_wait()
         return result
-
-    # -- collectives -----------------------------------------------------------
-    def barrier(self) -> None:
-        self._stats.record_barrier()
-        self._collective_exchange("barrier", None)
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        self._check_peer(root)
-        if self._rank == root:
-            # Serialize and size the payload exactly once at the root;
-            # receivers read both off the board instead of re-walking
-            # the payload per rank.
-            wire, nbytes = self._ctx.encode(obj, self._stats)
-            # Root pushes size-1 copies outward (naive linear accounting;
-            # the cost model applies a log(p) tree factor).
-            self._stats.record_collective(nbytes * (self.size - 1), 0)
-            board_entry: Any = (wire, nbytes)
-        else:
-            board_entry = None
-        board = self._collective_exchange(f"bcast:{root}", board_entry)
-        if self._rank != root:
-            rwire, rbytes = board[root]
-            self._stats.record_collective(0, rbytes)
-            return self._ctx.decode(rwire, self._stats)
-        return obj
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        self._check_peer(root)
-        wire, nbytes = self._ctx.encode(obj, self._stats)
-        board = self._collective_exchange(f"gather:{root}", (wire, nbytes))
-        if self._rank == root:
-            self._stats.record_collective(0, sum(n for _w, n in board) - nbytes)
-            return [self._ctx.decode(w, self._stats) for w, _n in board]
-        self._stats.record_collective(nbytes, 0)
-        return None
-
-    def allgather(self, obj: Any) -> list[Any]:
-        wire, nbytes = self._ctx.encode(obj, self._stats)
-        board = self._collective_exchange("allgather", (wire, nbytes))
-        recv_bytes = sum(n for _w, n in board) - nbytes
-        self._stats.record_collective(nbytes * (self.size - 1), recv_bytes)
-        return [self._ctx.decode(w, self._stats) for w, _n in board]
-
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        self._check_peer(root)
-        if self._rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError(
-                    f"scatter root must pass exactly {self.size} objects, "
-                    f"got {None if objs is None else len(objs)}"
-                )
-            wires = [self._ctx.encode(o, self._stats) for o in objs]
-            sent = sum(n for _w, n in wires) - wires[self._rank][1]
-            self._stats.record_collective(sent, 0)
-            board = self._collective_exchange(f"scatter:{root}", wires)
-        else:
-            board = self._collective_exchange(f"scatter:{root}", None)
-        wires = board[root]
-        wire, nbytes = wires[self._rank]
-        if self._rank != root:
-            self._stats.record_collective(0, nbytes)
-        return self._ctx.decode(wire, self._stats)
-
-    def reduce(self, obj: Any, op: Any = "sum", root: int = 0) -> Any | None:
-        self._check_peer(root)
-        fn = resolve_op(op)
-        wire, nbytes = self._ctx.encode(obj, self._stats)
-        board = self._collective_exchange(f"reduce:{root}", (wire, nbytes))
-        if self._rank == root:
-            self._stats.record_collective(0, sum(n for _w, n in board) - nbytes)
-            acc = self._ctx.decode(board[0][0], self._stats)
-            for w, _n in board[1:]:
-                acc = fn(acc, self._ctx.decode(w, self._stats))
-            return acc
-        self._stats.record_collective(nbytes, 0)
-        return None
-
-    def allreduce(self, obj: Any, op: Any = "sum") -> Any:
-        fn = resolve_op(op)
-        wire, nbytes = self._ctx.encode(obj, self._stats)
-        board = self._collective_exchange("allreduce", (wire, nbytes))
-        recv_bytes = sum(n for _w, n in board) - nbytes
-        self._stats.record_collective(nbytes, recv_bytes)
-        acc = self._ctx.decode(board[0][0], self._stats)
-        for w, _n in board[1:]:
-            acc = fn(acc, self._ctx.decode(w, self._stats))
-        return acc
-
-    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
-        if len(objs) != self.size:
-            raise ValueError(
-                f"alltoall needs exactly {self.size} entries, got {len(objs)}"
-            )
-        wires = [
-            None if o is None else self._ctx.encode(o, self._stats)
-            for o in objs
-        ]
-        sent = sum(n for e in wires if e is not None for n in (e[1],) )
-        nmsgs = sum(1 for i, e in enumerate(wires) if e is not None and i != self._rank)
-        board = self._collective_exchange("alltoall", wires)
-        out: list[Any] = [None] * self.size
-        recv_bytes = 0
-        for src in range(self.size):
-            entry = board[src][self._rank]
-            if entry is not None:
-                wire, nbytes = entry
-                out[src] = self._ctx.decode(wire, self._stats)
-                if src != self._rank:
-                    recv_bytes += nbytes
-        # Meter each non-None outgoing entry as one message.
-        self._stats.record_collective(sent, recv_bytes)
-        self._stats.messages_by_phase[self._stats.phase] += max(nmsgs - 1, 0)
-        return out
-
-    # -- sparse neighbour exchange ----------------------------------------
-    def exchange(self, msgs: Mapping[int, Any]) -> dict[int, Any]:
-        """True point-to-point sparse exchange.
-
-        One framed message per actual destination instead of a dense
-        ``alltoall`` board: an int64 counts allreduce tells every rank
-        how many messages to expect (the handshake a real MPI port
-        needs too, unless the neighbourhood is known statically), then
-        each payload travels as a plain tagged send.  Only real traffic
-        is metered — ``p2p_messages_sent`` grows by exactly
-        ``len(msgs)``, not ``size - 1``.
-
-        The allreduce doubles as the inter-round barrier that makes the
-        protocol safe: a rank can only reach round *k+1*'s sends after
-        every rank has drained its round-*k* receives.  Results are
-        returned in ascending source order — consumers fold received
-        batches in dict order and the deterministic-trajectory tests
-        rely on it.
-        """
-        self._ctx.check_abort()
-        self._check_exchange_dests(msgs)
-        counts = np.zeros(self.size, dtype=np.int64)
-        for dest in msgs:
-            counts[dest] = 1
-        totals = self.allreduce(counts)
-        n_recv = int(totals[self._rank])
-        for dest in sorted(msgs):
-            self.send(msgs[dest], dest, tag=_EXCHANGE_TAG)
-        out: dict[int, Any] = {}
-        for _ in range(n_recv):
-            payload, src, _tag = self.recv_status(ANY_SOURCE, _EXCHANGE_TAG)
-            out[src] = payload
-        return {src: out[src] for src in sorted(out)}

@@ -60,8 +60,10 @@ from .stats import payload_nbytes
 __all__ = [
     "FrameError",
     "encode_frame",
+    "encode_frame_parts",
     "decode_frame",
     "encode_payload",
+    "encode_payload_parts",
     "decode_payload",
 ]
 
@@ -189,10 +191,25 @@ def _encode_into(obj, parts: list, offset: int) -> int:
     return offset + 9 + len(raw)
 
 
+def encode_frame_parts(obj) -> "tuple[list, int]":
+    """Encode *obj* as a typed frame without joining the parts.
+
+    Returns ``(parts, total_nbytes)`` where *parts* is the ordered list
+    of ``bytes``/``memoryview`` fragments whose concatenation is exactly
+    :func:`encode_frame`'s output.  Transports that own a destination
+    buffer (the process backend's shared-memory rings) copy each part
+    straight into place, skipping the intermediate join entirely — the
+    frame is laid out *in* the shared segment, not staged through a
+    private ``bytes``.
+    """
+    parts = [bytes((_MAGIC, _VERSION))]
+    total = _encode_into(obj, parts, 2)
+    return parts, total
+
+
 def encode_frame(obj) -> bytes:
     """Encode *obj* as a typed frame (one copy: the final join)."""
-    parts = [bytes((_MAGIC, _VERSION))]
-    _encode_into(obj, parts, 2)
+    parts, _total = encode_frame_parts(obj)
     return b"".join(parts)
 
 
@@ -322,6 +339,38 @@ def encode_payload(obj, copy_mode: str, stats=None):
     stats.record_encode_seconds(perf_counter() - t0)
     stats.record_logical(payload_nbytes(obj))
     return wire, len(wire)
+
+
+def encode_payload_parts(obj, copy_mode: str, stats=None):
+    """Like :func:`encode_payload` but returns ``(parts, physical_nbytes)``.
+
+    The parts list concatenates to exactly what :func:`encode_payload`
+    would return for the same *copy_mode*, and the metering (logical
+    bytes, encode seconds) is identical — the two entry points are
+    interchangeable from the ledger's point of view.  ``copy_mode="none"``
+    has no wire representation (it shares references), so it is
+    rejected here: a buffer-writing transport cannot ship a reference.
+    """
+    if copy_mode == "none":
+        raise ValueError(
+            "copy_mode='none' shares object references and has no wire "
+            "representation; use encode_payload with an in-process "
+            "transport instead"
+        )
+    if stats is None:
+        if copy_mode == "frames":
+            return encode_frame_parts(obj)
+        wire = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+        return [wire], len(wire)
+    t0 = perf_counter()
+    if copy_mode == "frames":
+        parts, total = encode_frame_parts(obj)
+    else:
+        wire = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+        parts, total = [wire], len(wire)
+    stats.record_encode_seconds(perf_counter() - t0)
+    stats.record_logical(payload_nbytes(obj))
+    return parts, total
 
 
 def decode_payload(wire, copy_mode: str, stats=None):

@@ -51,14 +51,23 @@ def test_merge_bench_reports(tmp_path):
             {"variant": "traced", "seconds": 1.05, "overhead": 1.05},
         ]})
     )
+    (tmp_path / "BENCH_procs.json").write_text(
+        json.dumps({"rows": [
+            {"backend": "threads"},
+            {"backend": "procs", "speedup": 1.9},
+        ], "cpus": 8})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 4
-    assert sorted(report["benchmarks"]) == ["obs", "swap", "sweep", "wire"]
+    assert report["count"] == 5
+    assert sorted(report["benchmarks"]) == [
+        "obs", "procs", "swap", "sweep", "wire"
+    ]
     assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5
     assert report["benchmarks"]["wire"]["rows"][1]["speedup"] == 2.8
     assert report["benchmarks"]["obs"]["rows"][1]["overhead"] == 1.05
+    assert report["benchmarks"]["procs"]["rows"][1]["speedup"] == 1.9
     assert json.loads(out.read_text()) == report
 
 
