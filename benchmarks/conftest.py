@@ -21,7 +21,9 @@ def pytest_collection_modifyitems(config, items):
     if config.getoption("--run-bench"):
         return
     skip = pytest.mark.skip(reason="needs --run-bench")
-    guards = ("throughput_guard", "obs_guard", "procs_guard")
+    guards = (
+        "throughput_guard", "obs_guard", "procs_guard", "rebalance_guard",
+    )
     for item in items:
         if any(g in item.keywords for g in guards):
             item.add_marker(skip)

@@ -18,7 +18,7 @@ from .experiments import (
     table2_quality,
     table3_speedup,
 )
-from .export import merge_bench_reports, result_to_json, rows_to_csv
+from .export import host_info, merge_bench_reports, result_to_json, rows_to_csv
 from .report import format_value, render_series, render_table
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "fig9_scalability",
     "fig10_parallel_efficiency",
     "format_value",
+    "host_info",
     "merge_bench_reports",
     "render_series",
     "render_table",

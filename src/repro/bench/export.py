@@ -9,10 +9,32 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import platform
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["rows_to_csv", "result_to_json", "merge_bench_reports"]
+__all__ = ["rows_to_csv", "result_to_json", "merge_bench_reports", "host_info"]
+
+
+def host_info() -> dict[str, Any]:
+    """Host topology snapshot stamped into every ``BENCH_*.json``.
+
+    Benchmark numbers are meaningless without knowing what they ran on:
+    a "speedup plateau at 8 ranks" reads very differently on a 4-core
+    box than a 64-core one.  Returns ``cpus`` (``os.cpu_count()``),
+    ``platform`` (kernel/arch string) and ``load_avg`` (1/5/15-minute
+    averages where the OS provides them, else ``None``).
+    """
+    try:
+        load: "list[float] | None" = [round(x, 3) for x in os.getloadavg()]
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        load = None
+    return {
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "load_avg": load,
+    }
 
 
 def rows_to_csv(rows: Sequence[dict[str, Any]], path: "str | Path") -> None:
@@ -33,8 +55,14 @@ def rows_to_csv(rows: Sequence[dict[str, Any]], path: "str | Path") -> None:
 
 def result_to_json(result: dict[str, Any], path: "str | Path") -> None:
     """Write a driver's full result (rows + series, not the rendered
-    text) as JSON for downstream tooling."""
+    text) as JSON for downstream tooling.
+
+    The payload is stamped with a ``host`` block (:func:`host_info`)
+    unless the driver already provided one, so every exported report
+    records the topology it was measured on.
+    """
     payload = {k: v for k, v in result.items() if k != "text"}
+    payload.setdefault("host", host_info())
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=_coerce)
 

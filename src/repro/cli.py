@@ -104,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--batch-size", type=int, default=None,
                     help="move-kernel block size (0 = scalar sweep)")
     pc.add_argument(
+        "--rebalance", action="store_true",
+        help="enable the mid-run work-stealing repartitioner "
+             "(distributed only; migrates boundary vertices off "
+             "straggler ranks when edge-scan skew exceeds the "
+             "threshold)",
+    )
+    pc.add_argument(
+        "--rebalance-threshold", type=float, default=None,
+        metavar="X",
+        help="max/mean work skew that triggers a migration "
+             "(default: 1.25; implies nothing unless --rebalance)",
+    )
+    pc.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a run-trace artifact to PATH "
              "(sequential/distributed only)",
@@ -165,6 +178,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     }
     if args.batch_size is not None:
         cfg_kwargs["batch_size"] = args.batch_size
+    if args.rebalance:
+        cfg_kwargs["dynamic_rebalance"] = True
+    if args.rebalance_threshold is not None:
+        cfg_kwargs["rebalance_threshold"] = args.rebalance_threshold
     cfg = InfomapConfig(**cfg_kwargs)
 
     tracer = None
@@ -228,6 +245,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from .obs import (
         counter_final_values,
         load_run_artifact,
+        rebalance_rows,
         span_seconds_by_rank,
         write_chrome_trace,
     )
@@ -290,6 +308,21 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 columns=[
                     "level", "round", "codelength", "moves",
                     "boundary_bytes", "frontier",
+                ],
+            )
+        )
+
+    # Mid-run migrations (dynamic repartitioner instants).
+    migrations = rebalance_rows(events)
+    if migrations:
+        print()
+        print(
+            render_table(
+                migrations,
+                title="rebalance migrations by (level, round)",
+                columns=[
+                    "level", "round", "donor", "receiver",
+                    "vertices", "entries", "skew",
                 ],
             )
         )

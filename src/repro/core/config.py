@@ -35,7 +35,23 @@ class InfomapConfig:
         d_high: delegate degree threshold; ``None`` uses the paper's
             default ``d_high = p`` (the rank count).
         rebalance: apply §3.3 step 4 (re-place hub edges onto
-            underloaded ranks).
+            underloaded ranks).  This is the *static* partition-time
+            rebalance; see ``dynamic_rebalance`` for the mid-run one.
+        dynamic_rebalance: enable the trace-informed mid-run
+            repartitioner (:mod:`repro.partition.rebalance`): every
+            ``rebalance_interval`` rounds the ranks compare per-phase
+            edge-scan work counters and, when the max/mean skew exceeds
+            ``rebalance_threshold``, the most loaded rank migrates
+            boundary vertices (CSR rows, flow, membership, ghost
+            registrations) to the least loaded rank.  Off by default —
+            the disabled path adds no collectives, so runs are
+            bitwise-identical to a build without the feature.
+        rebalance_threshold: max/mean work-skew ratio that triggers a
+            migration (must be >= 1; 1.0 rebalances on any skew).
+        rebalance_interval: check the skew every this many move/swap
+            rounds within a level.
+        rebalance_max_vertices: cap on vertices migrated per event (a
+            safety valve so one decision cannot ship half a rank).
         min_label: apply the min-label anti-bouncing rule to boundary
             moves (§3.4); turning it off is the non-convergence
             ablation.
@@ -129,6 +145,10 @@ class InfomapConfig:
 
     d_high: int | None = None
     rebalance: bool = True
+    dynamic_rebalance: bool = False
+    rebalance_threshold: float = 1.25
+    rebalance_interval: int = 2
+    rebalance_max_vertices: int = 4096
     min_label: bool = True
     tie_eps: float = 1e-10
     full_module_info: bool = True
@@ -156,6 +176,15 @@ class InfomapConfig:
             raise ValueError(f"d_high must be >= 1 or None, got {self.d_high}")
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        if self.rebalance_threshold < 1.0:
+            raise ValueError(
+                f"rebalance_threshold must be >= 1.0, "
+                f"got {self.rebalance_threshold}"
+            )
+        if self.rebalance_interval < 1:
+            raise ValueError("rebalance_interval must be >= 1")
+        if self.rebalance_max_vertices < 1:
+            raise ValueError("rebalance_max_vertices must be >= 1")
         if self.min_vertices_per_rank < 1:
             raise ValueError("min_vertices_per_rank must be >= 1")
         if self.round_threshold_rel < 0:

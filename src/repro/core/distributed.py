@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Any
 
 import numpy as np
@@ -44,6 +45,7 @@ from ..obs.log import get_logger
 from ..partition.delegates import delegate_partition
 from ..partition.distgraph import LocalGraph, build_local_graphs, local_views_1d
 from ..partition.oned import OneDPartition
+from ..partition.rebalance import maybe_rebalance
 from ..simmpi.comm import Communicator
 from ..simmpi.costmodel import MachineModel
 from ..simmpi.engine import run_spmd
@@ -509,6 +511,77 @@ def _exact_codelength(
 # One clustering level: rounds of move / consensus / swap / update
 # ---------------------------------------------------------------------------
 
+def _build_level_caches(
+    lg: LocalGraph, state: LocalModuleState, nranks: int
+) -> SimpleNamespace:
+    """Derived per-level lookup structures over one local graph.
+
+    Everything here is a pure function of ``lg``/``state`` layout, so a
+    mid-level migration (see :mod:`repro.partition.rebalance`) can
+    rebuild the lot with one call; the cross-round caches that survive
+    a migration (delegate peer flows, hub dirty flags) live outside.
+    """
+    ghost_base = lg.num_owned + lg.num_hubs
+    ghost_index = {
+        int(g): ghost_base + i
+        for i, g in enumerate(lg.global_of[lg.ghost_slice()])
+    }
+    hub_index = {
+        int(g): lg.num_owned + i
+        for i, g in enumerate(lg.global_of[lg.hub_slice()])
+    }
+
+    # Reverse adjacency (target -> stored sources), for active-set
+    # pruning: when a vertex changes module, exactly its stored
+    # in-neighbours need re-evaluation.
+    rev_order = np.argsort(lg.nbr, kind="stable")
+    rev_targets = lg.nbr[rev_order]
+    rev_sources = state._entry_src[rev_order]
+
+    # Locally-stored hub adjacency, grouped by hub ordinal once, for
+    # the delegate-consensus contribution cache.
+    h_lo0 = int(lg.indptr[lg.num_owned]) if lg.num_hubs else lg.nbr.size
+    _h_src = state._entry_src[h_lo0:]
+    _h_tgt = lg.nbr[h_lo0:]
+    _h_flw = lg.nbr_flow[h_lo0:]
+    _h_ns = _h_tgt != _h_src
+    _h_ord = (_h_src[_h_ns] - lg.num_owned).astype(np.int64)
+    _h_order = np.argsort(_h_ord, kind="stable")
+    # Home rank of each hub ordinal (round-robin ownership by global id).
+    hub_home_rank = (
+        lg.global_of[lg.num_owned : lg.num_owned + lg.num_hubs]
+        % np.int64(nranks)
+    ).astype(np.int64)
+    return SimpleNamespace(
+        ghost_index=ghost_index,
+        hub_index=hub_index,
+        rev_targets=rev_targets,
+        rev_sources=rev_sources,
+        hub_ord_per_entry=_h_ord[_h_order],
+        hub_tgt_sorted=_h_tgt[_h_ns][_h_order],
+        hub_flw_sorted=_h_flw[_h_ns][_h_order],
+        hub_home_rank=hub_home_rank,
+    )
+
+
+def _mark_neighbors(
+    C: SimpleNamespace,
+    lg: LocalGraph,
+    changed: np.ndarray,
+    active: np.ndarray,
+    hub_active: np.ndarray,
+) -> None:
+    if changed.size == 0:
+        return
+    lo = np.searchsorted(C.rev_targets, changed)
+    hi = np.searchsorted(C.rev_targets, changed + 1)
+    for a, b in zip(lo.tolist(), hi.tolist()):
+        srcs = C.rev_sources[a:b]
+        active[srcs[srcs < lg.num_owned]] = True
+        hs = srcs[srcs >= lg.num_owned] - lg.num_owned
+        hub_active[hs] = True
+
+
 def _cluster_rounds(
     comm: Communicator,
     lg: LocalGraph,
@@ -528,64 +601,23 @@ def _cluster_rounds(
             pairs into scalar keys for the vectorized delegate path.
 
     Returns ``(state, final_contribution, codelength_history, rounds,
-    total_moves)``.
+    total_moves, final_lg, rebalance_events)``.  ``final_lg`` is the
+    local graph the level ended with — identical to the input unless a
+    mid-level migration rebuilt it; callers must index against it, not
+    the one they passed in.
     """
     buf = comm.trace
     state = LocalModuleState(lg)
-    ghost_base = lg.num_owned + lg.num_hubs
-    ghost_index = {
-        int(g): ghost_base + i
-        for i, g in enumerate(lg.global_of[lg.ghost_slice()])
-    }
-    hub_index = {
-        int(g): lg.num_owned + i
-        for i, g in enumerate(lg.global_of[lg.hub_slice()])
-    }
+    C = _build_level_caches(lg, state, comm.size)
 
-    # Reverse adjacency (target -> stored sources), for active-set
-    # pruning: when a vertex changes module, exactly its stored
-    # in-neighbours need re-evaluation.
-    rev_order = np.argsort(lg.nbr, kind="stable")
-    rev_targets = lg.nbr[rev_order]
-    rev_sources = state._entry_src[rev_order]
-
-    def mark_neighbors(
-        changed: np.ndarray, active: np.ndarray, hub_active: np.ndarray
-    ) -> None:
-        if changed.size == 0:
-            return
-        lo = np.searchsorted(rev_targets, changed)
-        hi = np.searchsorted(rev_targets, changed + 1)
-        for a, b in zip(lo.tolist(), hi.tolist()):
-            srcs = rev_sources[a:b]
-            active[srcs[srcs < lg.num_owned]] = True
-            hs = srcs[srcs >= lg.num_owned] - lg.num_owned
-            hub_active[hs] = True
-
-    # Locally-stored hub adjacency, grouped by hub ordinal once, for
-    # the delegate-consensus contribution cache.
-    h_lo0 = int(lg.indptr[lg.num_owned]) if lg.num_hubs else lg.nbr.size
-    _h_src = state._entry_src[h_lo0:]
-    _h_tgt = lg.nbr[h_lo0:]
-    _h_flw = lg.nbr_flow[h_lo0:]
-    _h_ns = _h_tgt != _h_src
-    _h_ord = (_h_src[_h_ns] - lg.num_owned).astype(np.int64)
-    _h_order = np.argsort(_h_ord, kind="stable")
-    hub_ord_per_entry = _h_ord[_h_order]
-    hub_tgt_sorted = _h_tgt[_h_ns][_h_order]
-    hub_flw_sorted = _h_flw[_h_ns][_h_order]
     # Per-peer caches of (hub*id_space + module) keys and flows — each
     # peer's last-shipped delegate contributions, kept key-sorted.
+    # These are keyed by global ids, so they survive a migration.
     peer_keys: list[np.ndarray] = [
         np.empty(0, np.int64) for _ in range(comm.size)
     ]
     peer_flows: list[np.ndarray] = [np.empty(0) for _ in range(comm.size)]
     hub_dirty = np.ones(lg.num_hubs, dtype=bool)
-    # Home rank of each hub ordinal (round-robin ownership by global id).
-    hub_home_rank = (
-        lg.global_of[lg.num_owned : lg.num_owned + lg.num_hubs]
-        % np.int64(comm.size)
-    ).astype(np.int64)
 
     with timer.phase(PHASE_OTHER):
         own = state.contribution()
@@ -606,6 +638,10 @@ def _cluster_rounds(
     rounds = 0
     best_l = history[0]
     stalled = 0
+    rebalance_events: list[dict[str, Any]] = []
+    use_rebalance = cfg.dynamic_rebalance and comm.size > 1
+    rebal_work_mark = timer.work.get(PHASE_FIND_BEST, 0.0)
+    rebal_round_mark = 0
     for rounds in range(1, cfg.max_rounds + 1):
         buf.set_context(round=rounds)
         swap_bytes0 = comm.stats.bytes_by_phase.get(PHASE_SWAP_BOUNDARY, 0)
@@ -663,18 +699,18 @@ def _cluster_rounds(
                 with timer.phase(PHASE_FIND_BEST):
                     if not cfg.prune_inactive:
                         hub_dirty[:] = True
-                    dmask = hub_dirty[hub_ord_per_entry]
+                    dmask = hub_dirty[C.hub_ord_per_entry]
                     if dmask.any():
                         dk = (
-                            hub_ord_per_entry[dmask] * np.int64(id_space)
-                            + state.module_of[hub_tgt_sorted[dmask]]
+                            C.hub_ord_per_entry[dmask] * np.int64(id_space)
+                            + state.module_of[C.hub_tgt_sorted[dmask]]
                         )
                         uk, inv = np.unique(dk, return_inverse=True)
                         kf = np.bincount(
-                            inv, weights=hub_flw_sorted[dmask],
+                            inv, weights=C.hub_flw_sorted[dmask],
                             minlength=uk.size,
                         )
-                        upd_hubs = np.unique(hub_ord_per_entry[dmask])
+                        upd_hubs = np.unique(C.hub_ord_per_entry[dmask])
                         timer.add_work(
                             PHASE_FIND_BEST, int(dmask.sum())
                         )
@@ -689,7 +725,7 @@ def _cluster_rounds(
                     upd_msgs: dict[int, Any] = {}
                     self_update = None
                     if uk.size:
-                        key_home = hub_home_rank[(uk // id_space)]
+                        key_home = C.hub_home_rank[(uk // id_space)]
                         for r in range(comm.size):
                             sel = key_home == r
                             if not sel.any():
@@ -847,7 +883,7 @@ def _cluster_rounds(
         if with_delegates and lg.num_hubs:
             with timer.phase(PHASE_OTHER):
                 for hub, (_delta, target) in winners.items():
-                    hi = hub_index[hub]
+                    hi = C.hub_index[hub]
                     old = int(state.module_of[hi])
                     if old != target:
                         state.module_of[hi] = target
@@ -865,7 +901,7 @@ def _cluster_rounds(
                 memb = state.prepare_membership_sync()
             recv = comm.exchange(memb)
             changed_ghosts = state.apply_membership_sync(
-                list(recv.values()), ghost_index
+                list(recv.values()), C.ghost_index
             )
 
         with timer.phase(PHASE_OTHER):
@@ -882,7 +918,7 @@ def _cluster_rounds(
                     moved_local + moved_hubs + changed_ghosts,
                     dtype=np.int64,
                 )
-                mark_neighbors(changed_idx, active, hub_dirty)
+                _mark_neighbors(C, lg, changed_idx, active, hub_dirty)
                 if changed_mods:
                     cm = np.fromiter(
                         changed_mods, dtype=np.int64, count=len(changed_mods)
@@ -960,9 +996,36 @@ def _cluster_rounds(
             stalled += 1
             if stalled >= 3:
                 break
+
+        # -- Mid-level dynamic repartitioning (work stealing) -------------
+        # Runs only when the level continues; the skew probe and any
+        # migration are collective and decided from allgathered work
+        # counters, so every rank takes the same path.  Default-off:
+        # the disabled branch adds no collectives, keeping runs
+        # bitwise-identical to a build without the feature.
+        if use_rebalance and rounds % cfg.rebalance_interval == 0:
+            work_now = timer.work.get(PHASE_FIND_BEST, 0.0)
+            outcome = maybe_rebalance(
+                comm, lg, state, cfg, timer, active,
+                work_window=work_now - rebal_work_mark,
+                rounds_window=rounds - rebal_round_mark,
+            )
+            rebal_work_mark = work_now
+            rebal_round_mark = rounds
+            if outcome is not None:
+                rebalance_events.append(
+                    {**outcome.info, "round": rounds}
+                )
+                own = outcome.own
+                if outcome.structural:
+                    lg = outcome.lg
+                    state = outcome.state
+                    active = outcome.active
+                    order = np.arange(lg.num_owned)
+                    C = _build_level_caches(lg, state, comm.size)
     buf.set_context(round=None)
 
-    return state, own, history, rounds, total_moves_all
+    return state, own, history, rounds, total_moves_all, lg, rebalance_events
 
 
 # ---------------------------------------------------------------------------
@@ -1070,11 +1133,19 @@ def _rank_program(
     # ---- Stage 1: clustering with delegates --------------------------------
     buf.set_context(level=0)
     with buf.span("stage1"):
-        state, own, hist1, rounds1, moves1 = _cluster_rounds(
+        state, own, hist1, rounds1, moves1, lg, reb1 = _cluster_rounds(
             comm, lg, cfg, timer, node_term, rng, with_delegates=True,
             id_space=n0,
         )
     codelength_history.extend(hist1)
+    rebalance_events: list[dict[str, Any]] = [
+        {**ev, "level": 0} for ev in reb1
+    ]
+    # A migration may have rebuilt lg: recompute the exactly-once mass
+    # mask against the *final* layout before indexing with it.
+    mass = np.zeros(lg.num_local, dtype=bool)
+    mass[: lg.num_owned] = True
+    mass[lg.num_owned : lg.num_owned + lg.num_hubs] = lg.hub_home
 
     net, module_ids = _merge_to_coarse(comm, state, own, timer, id_space=n0)
     log.debug(
@@ -1130,10 +1201,13 @@ def _rank_program(
             lg2 = views2[rank]
 
         with buf.span("stage2_level"):
-            state2, own2, hist2, rounds2, moves2 = _cluster_rounds(
-                comm, lg2, cfg, timer, node_term, rng, with_delegates=False,
-                id_space=cn,
+            state2, own2, hist2, rounds2, moves2, lg2, reb2 = (
+                _cluster_rounds(
+                    comm, lg2, cfg, timer, node_term, rng,
+                    with_delegates=False, id_space=cn,
+                )
             )
+        rebalance_events.extend({**ev, "level": level} for ev in reb2)
         l_after = hist2[-1]
         codelength_history.append(l_after)
         final_codelength = l_after
@@ -1199,6 +1273,7 @@ def _rank_program(
         "stage1_rounds": rounds1,
         "num_entries_stage1": lg.num_entries,
         "num_ghosts_stage1": lg.num_ghosts,
+        "rebalance_events": rebalance_events,
     }
 
 
@@ -1309,6 +1384,10 @@ def distributed_infomap(
             "phase_seconds_max": phase_seconds,
             "phase_work_max": phase_work,
             "per_rank_timer": [out["timer"] for out in res.results],
+            "per_rank_stage1_timer": [
+                out["stage1_timer"] for out in res.results
+            ],
+            "rebalance_events": r0["rebalance_events"],
             "comm_snapshot": res.ledger.snapshot(),
             "total_comm_bytes": res.ledger.total_bytes,
             "max_rank_comm_bytes": res.ledger.max_rank_bytes,

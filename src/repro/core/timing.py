@@ -37,6 +37,7 @@ __all__ = [
     "PHASE_SWAP_BOUNDARY",
     "PHASE_OTHER",
     "PHASE_MEASUREMENT",
+    "PHASE_REBALANCE",
     "PHASES",
 ]
 
@@ -48,6 +49,10 @@ PHASE_OTHER = "other"
 #: Reproduction-only instrumentation (exact global codelength); not a
 #: paper phase and excluded from modeled runtime.
 PHASE_MEASUREMENT = "measurement"
+#: Mid-run dynamic repartitioning (see repro.partition.rebalance): the
+#: skew probe, victim migration and table resync all meter here, so
+#: migration traffic is separable from the paper's four phases.
+PHASE_REBALANCE = "rebalance"
 PHASES = (
     PHASE_FIND_BEST,
     PHASE_BROADCAST_DELEGATES,

@@ -38,6 +38,7 @@ from .export import (
     counter_final_values,
     load_run_artifact,
     phase_byte_totals,
+    rebalance_rows,
     span_seconds_by_rank,
     to_chrome_trace,
     write_chrome_trace,
@@ -79,6 +80,7 @@ __all__ = [
     "graph_fingerprint",
     "load_run_artifact",
     "phase_byte_totals",
+    "rebalance_rows",
     "span_seconds_by_rank",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -41,9 +41,15 @@ class BalanceStats:
     @property
     def imbalance(self) -> float:
         """max / mean — 1.0 is perfect balance; the paper reports 1D
-        imbalances of several orders of magnitude on the web crawls."""
+        imbalances of several orders of magnitude on the web crawls.
+
+        An all-zero load vector is perfectly balanced (every rank
+        carries identical load), so the zero-mean guard returns 1.0 —
+        not 0.0, which would read as "better than perfect" to any
+        consumer ranking by imbalance.
+        """
         mean = self.mean
-        return float(self.max / mean) if mean > 0 else 0.0
+        return float(self.max / mean) if mean > 0 else 1.0
 
     @property
     def spread(self) -> float:

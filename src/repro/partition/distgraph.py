@@ -112,6 +112,12 @@ class LocalGraph:
             self._boundary_groups = groups
         return self._boundary_groups
 
+    def invalidate_boundary_groups(self) -> None:
+        """Drop the cached group-by after ``boundary_local`` /
+        ``boundary_ranks`` edits (the dynamic repartitioner's ghost-set
+        repair mutates them in place on third-party ranks)."""
+        self._boundary_groups = None
+
     @property
     def num_local(self) -> int:
         return self.num_owned + self.num_hubs + self.num_ghosts

@@ -5,7 +5,13 @@ import json
 
 import pytest
 
-from repro.bench import merge_bench_reports, result_to_json, rows_to_csv, table1
+from repro.bench import (
+    host_info,
+    merge_bench_reports,
+    result_to_json,
+    rows_to_csv,
+    table1,
+)
 
 
 def test_rows_to_csv_roundtrip(tmp_path):
@@ -32,6 +38,28 @@ def test_result_to_json_drops_text_and_coerces_numpy(tmp_path):
     assert isinstance(data["rows"][0]["standin_V"], int)
 
 
+def test_host_info_shape():
+    info = host_info()
+    assert isinstance(info["cpus"], int) and info["cpus"] >= 1
+    assert isinstance(info["platform"], str) and info["platform"]
+    if info["load_avg"] is not None:
+        assert len(info["load_avg"]) == 3
+
+
+def test_result_to_json_stamps_host(tmp_path):
+    path = tmp_path / "r.json"
+    result_to_json({"rows": [{"x": 1}], "text": "t"}, path)
+    data = json.loads(path.read_text())
+    assert data["host"]["cpus"] == host_info()["cpus"]
+    assert "platform" in data["host"]
+
+
+def test_result_to_json_keeps_driver_host(tmp_path):
+    path = tmp_path / "r.json"
+    result_to_json({"rows": [], "host": {"cpus": 99}}, path)
+    assert json.loads(path.read_text())["host"] == {"cpus": 99}
+
+
 def test_merge_bench_reports(tmp_path):
     (tmp_path / "BENCH_sweep.json").write_text(
         json.dumps({"rows": [{"speedup": 4.0}]})
@@ -55,19 +83,32 @@ def test_merge_bench_reports(tmp_path):
         json.dumps({"rows": [
             {"backend": "threads"},
             {"backend": "procs", "speedup": 1.9},
-        ], "cpus": 8})
+        ], "cpus": 8, "host": {"cpus": 8, "platform": "Linux-test"}})
+    )
+    (tmp_path / "BENCH_rebalance.json").write_text(
+        json.dumps({"rows": [
+            {"rebalance": False, "skew": 3.2},
+            {"rebalance": True, "skew": 1.4, "skew_improvement": 2.3},
+        ], "host": {"cpus": 8, "platform": "Linux-test"}})
     )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 5
+    assert report["count"] == 6
     assert sorted(report["benchmarks"]) == [
-        "obs", "procs", "swap", "sweep", "wire"
+        "obs", "procs", "rebalance", "swap", "sweep", "wire"
     ]
     assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5
     assert report["benchmarks"]["wire"]["rows"][1]["speedup"] == 2.8
     assert report["benchmarks"]["obs"]["rows"][1]["overhead"] == 1.05
     assert report["benchmarks"]["procs"]["rows"][1]["speedup"] == 1.9
+    assert (
+        report["benchmarks"]["rebalance"]["rows"][1]["skew_improvement"]
+        == 2.3
+    )
+    # host stamps survive the merge untouched
+    assert report["benchmarks"]["procs"]["host"]["platform"] == "Linux-test"
+    assert report["benchmarks"]["rebalance"]["host"]["cpus"] == 8
     assert json.loads(out.read_text()) == report
 
 
