@@ -40,6 +40,7 @@ from .core import (
     ModuleStats,
     SequentialInfomap,
     distributed_infomap,
+    external_infomap,
     sequential_infomap,
 )
 from .graph import (
@@ -91,6 +92,7 @@ __all__ = [
     "dataset_names",
     "delegate_partition",
     "distributed_infomap",
+    "external_infomap",
     "f_measure",
     "from_edge_array",
     "from_edges",

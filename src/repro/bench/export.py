@@ -14,7 +14,59 @@ import platform
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["rows_to_csv", "result_to_json", "merge_bench_reports", "host_info"]
+__all__ = [
+    "rows_to_csv",
+    "result_to_json",
+    "merge_bench_reports",
+    "host_info",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+]
+
+
+def _proc_status_bytes(key: str) -> "int | None":
+    """Read a kB-denominated field from ``/proc/self/status``."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(key):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    return None
+
+
+def current_rss_bytes() -> int:
+    """This process's resident set size right now, in bytes.
+
+    Linux reads ``VmRSS`` from ``/proc/self/status``; elsewhere falls
+    back to 0 (callers treat the memory numbers as best-effort).
+    """
+    val = _proc_status_bytes("VmRSS:")
+    return val if val is not None else 0
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size (high-water mark), bytes.
+
+    Linux reads ``VmHWM`` from ``/proc/self/status``.  Fallback is
+    ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` (kB on Linux, bytes
+    on macOS — we assume kB since the /proc path covers Linux anyway);
+    0 when neither source exists.
+
+    Note the Linux fork semantics: a child's high-water mark resets to
+    its RSS at fork, so per-rank guards in the procs backend compare
+    ``peak - rss_at_start`` rather than the absolute peak.
+    """
+    val = _proc_status_bytes("VmHWM:")
+    if val is not None:
+        return val
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except (ImportError, ValueError):  # pragma: no cover
+        return 0
 
 
 def host_info() -> dict[str, Any]:
@@ -23,8 +75,10 @@ def host_info() -> dict[str, Any]:
     Benchmark numbers are meaningless without knowing what they ran on:
     a "speedup plateau at 8 ranks" reads very differently on a 4-core
     box than a 64-core one.  Returns ``cpus`` (``os.cpu_count()``),
-    ``platform`` (kernel/arch string) and ``load_avg`` (1/5/15-minute
-    averages where the OS provides them, else ``None``).
+    ``platform`` (kernel/arch string), ``load_avg`` (1/5/15-minute
+    averages where the OS provides them, else ``None``) and
+    ``peak_rss_bytes`` (the exporting process's high-water resident set
+    at stamp time — for out-of-core benchmarks the interesting number).
     """
     try:
         load: "list[float] | None" = [round(x, 3) for x in os.getloadavg()]
@@ -34,6 +88,7 @@ def host_info() -> dict[str, Any]:
         "cpus": os.cpu_count(),
         "platform": platform.platform(),
         "load_avg": load,
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

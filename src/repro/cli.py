@@ -9,6 +9,9 @@ Subcommands:
   phase, convergence table, communication totals) or convert it to a
   Perfetto-loadable timeline.
 * ``partition`` — compare 1D vs delegate partitioning for a graph.
+* ``ingest``    — stream an edge file into an on-disk memory-mapped
+  CSR store (two-pass external build; bounded RSS); the store then
+  feeds ``cluster --store DIR`` and the out-of-core ``--ooc`` path.
 * ``bench``     — regenerate one of the paper's tables/figures.
 * ``datasets``  — list the available Table-1 stand-ins.
 
@@ -21,6 +24,9 @@ Examples::
         --ranks 8 --trace run.json
     repro-infomap inspect run.json --perfetto run.perfetto.json
     repro-infomap cluster --input graph.txt --method sequential -o out.tsv
+    repro-infomap ingest --input big.txt.gz --out big.csr
+    repro-infomap cluster --store big.csr --method distributed \\
+        --ranks 4 --backend procs --ooc
     repro-infomap partition --dataset uk2005 --ranks 32
     repro-infomap bench --experiment fig7 --ranks 32
 """
@@ -75,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         src = p.add_mutually_exclusive_group(required=True)
         src.add_argument("--input", help="edge-list file (u v [w] per line)")
         src.add_argument("--dataset", help="named Table-1 stand-in")
+        src.add_argument(
+            "--store", metavar="DIR",
+            help="on-disk CSR store built by the 'ingest' subcommand; "
+                 "opens as memory-mapped columns in O(1)",
+        )
         p.add_argument("--scale", type=float, default=1.0,
                        help="dataset stand-in scale factor")
         p.add_argument("--seed", type=int, default=0)
@@ -117,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 1.25; implies nothing unless --rebalance)",
     )
     pc.add_argument(
+        "--ooc", action="store_true",
+        help="out-of-core partition-then-load: each rank memory-maps "
+             "only its contiguous shard of the CSR store instead of "
+             "the driver broadcasting whole-graph views (requires "
+             "--store and --method distributed)",
+    )
+    pc.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a run-trace artifact to PATH "
              "(sequential/distributed only)",
@@ -138,6 +156,32 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--ranks", type=int, default=16)
     pp.add_argument("--d-high", type=int, default=None)
 
+    pg = sub.add_parser(
+        "ingest",
+        help="build an on-disk CSR store from an edge file (two-pass, "
+             "streaming — never holds all edges in memory)",
+    )
+    pg.add_argument("--input", required=True,
+                    help="edge file (.gz transparent)")
+    pg.add_argument("--format", choices=["edgelist", "metis"],
+                    default="edgelist", dest="fmt",
+                    help="input format (default: edgelist)")
+    pg.add_argument("--out", required=True, metavar="DIR",
+                    help="store directory (created if missing)")
+    pg.add_argument("--chunk-bytes", type=int, default=None,
+                    help="streaming read chunk size in bytes")
+    pg.add_argument(
+        "--weighted", choices=["auto", "yes", "no"], default="auto",
+        help="edge-list third column handling (default: auto-detect)",
+    )
+    pg.add_argument("--dedup", choices=["sum", "first", "error"],
+                    default="sum",
+                    help="parallel-edge policy, edgelist only "
+                         "(default: sum)")
+    pg.add_argument("--keep-self-loops", action="store_true",
+                    help="keep self-loops instead of dropping them "
+                         "(edgelist only)")
+
     pb = sub.add_parser("bench", help="regenerate a paper table/figure")
     pb.add_argument(
         "--experiment",
@@ -156,8 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_graph(args: argparse.Namespace):
-    from .graph import load_dataset, read_edgelist
+    from .graph import load_dataset, open_csr_store, read_edgelist
 
+    if getattr(args, "store", None):
+        # O(1) reopen: the CSR columns stay memory-mapped on disk.
+        return open_csr_store(args.store), None
     if args.dataset:
         data = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
         return data.graph, data.labels
@@ -167,9 +214,20 @@ def _load_graph(args: argparse.Namespace):
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from .baselines import gossipmap, label_propagation, louvain, relaxmap
-    from .core import InfomapConfig, distributed_infomap, sequential_infomap
+    from .core import (
+        InfomapConfig,
+        distributed_infomap,
+        external_infomap,
+        sequential_infomap,
+    )
     from .metrics import nmi
 
+    if args.ooc and (not args.store or args.method != "distributed"):
+        print(
+            "error: --ooc requires --store DIR and --method distributed",
+            file=sys.stderr,
+        )
+        return 2
     graph, labels = _load_graph(args)
     cfg_kwargs: dict = {
         "seed": args.seed,
@@ -200,9 +258,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.method == "sequential":
         result = sequential_infomap(graph, cfg, tracer=tracer)
     elif args.method == "distributed":
-        result = distributed_infomap(
-            graph, args.ranks, cfg, tracer=tracer
-        )
+        if args.ooc:
+            # Partition-then-load: the driver ships only the store path
+            # and shard plan; each rank memmaps its own row range.
+            result = external_infomap(
+                args.store, args.ranks, cfg, tracer=tracer
+            )
+        else:
+            result = distributed_infomap(
+                graph, args.ranks, cfg, tracer=tracer
+            )
     elif args.method == "gossipmap":
         result = gossipmap(graph, args.ranks, cfg)
     elif args.method == "louvain":
@@ -379,6 +444,38 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from .bench.export import peak_rss_bytes
+    from .graph import edgelist_to_store, metis_to_store
+    from .graph.io import DEFAULT_CHUNK_BYTES
+
+    chunk = args.chunk_bytes or DEFAULT_CHUNK_BYTES
+    t0 = time.perf_counter()
+    if args.fmt == "metis":
+        header = metis_to_store(args.input, args.out, chunk_bytes=chunk)
+    else:
+        weighted = {"auto": None, "yes": True, "no": False}[args.weighted]
+        header = edgelist_to_store(
+            args.input, args.out,
+            weighted=weighted, chunk_bytes=chunk,
+            dedup=args.dedup, keep_self_loops=args.keep_self_loops,
+        )
+    dt = time.perf_counter() - t0
+    edges = int(header["num_edges"])
+    print(
+        f"store written to {args.out}: "
+        f"{header['num_vertices']} vertices, {edges} edges, "
+        f"nnz={header['nnz']}, total_weight={header['total_weight']:.6g}"
+    )
+    print(
+        f"built in {dt:.2f}s ({edges / max(dt, 1e-9):,.0f} edges/s), "
+        f"peak RSS {peak_rss_bytes() / (1 << 20):.1f} MiB"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
@@ -443,6 +540,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_inspect(args)
     if args.command == "partition":
         return _cmd_partition(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "datasets":

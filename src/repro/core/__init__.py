@@ -7,7 +7,7 @@ from .directed import (
     directed_delta,
     sequential_infomap_directed,
 )
-from .distributed import DistributedInfomap, distributed_infomap
+from .distributed import DistributedInfomap, distributed_infomap, external_infomap
 from .flow import FlowNetwork, pagerank_flow
 from .kernels import (
     BlockAggregates,
@@ -79,6 +79,7 @@ __all__ = [
     "delta_codelength",
     "delta_from_values",
     "distributed_infomap",
+    "external_infomap",
     "drift_guard_bound",
     "neighbor_module_flows",
     "pagerank_flow",

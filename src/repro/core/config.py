@@ -124,6 +124,12 @@ class InfomapConfig:
             only trades memory/locality against vectorization; ``0``
             disables batching entirely (the legacy one-vertex-at-a-time
             path, kept for ablations and equivalence tests).
+        ooc_chunk_entries: adjacency entries read per chunk when an
+            out-of-core rank streams its shard from a CSR store
+            (:func:`repro.partition.shard.load_shard`).  Bounds the
+            load-time temporaries to ~24 bytes x this many entries per
+            rank; results are chunk-size invariant (bitwise), so this
+            only trades peak RSS against read-call overhead.
         tracer: optional :class:`~repro.obs.trace.Tracer` receiving the
             run's per-rank event stream (phase spans, round convergence
             samples, communication counters).  ``None`` (default) turns
@@ -161,6 +167,7 @@ class InfomapConfig:
     max_rounds: int = 60
     batch_size: int = 256
     backend: str = "threads"
+    ooc_chunk_entries: int = 1 << 20
     tracer: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -193,6 +200,10 @@ class InfomapConfig:
             raise ValueError(
                 f"batch_size must be >= 0 (0 = scalar path), "
                 f"got {self.batch_size}"
+            )
+        if self.ooc_chunk_entries < 1:
+            raise ValueError(
+                f"ooc_chunk_entries must be >= 1, got {self.ooc_chunk_entries}"
             )
         if self.move_rule not in ("map_equation", "max_flow"):
             raise ValueError(

@@ -68,7 +68,7 @@ from .timing import (
     PhaseTimer,
 )
 
-__all__ = ["DistributedInfomap", "distributed_infomap"]
+__all__ = ["DistributedInfomap", "distributed_infomap", "external_infomap"]
 
 log = get_logger("core.distributed")
 
@@ -1107,9 +1107,56 @@ def _rank_program(
     cfg: InfomapConfig,
     n0: int,
 ) -> dict[str, Any]:
+    """In-RAM rank program: local views were carved out by the driver."""
+    return _rank_body(comm, views[comm.rank], cfg, n0)
+
+
+def _rank_program_shard(
+    comm: Communicator,
+    store_dir: str,
+    plan: Any,
+    cfg: InfomapConfig,
+    n0: int,
+) -> dict[str, Any]:
+    """Out-of-core rank program: build the local view from this rank's
+    shard of an on-disk CSR store, then run the shared body.
+
+    The driver never materializes the graph; each worker memmaps the
+    store and reads only its contiguous row slice (plus the two ghost
+    exchange rounds), so per-process RSS scales with the shard.  The
+    RSS baseline is sampled before the load: on the fork-based procs
+    backend a child's peak-RSS counter resets to the fork-time RSS, so
+    ``peak - rss_before`` isolates shard-driven growth.
+    """
+    # Lazy imports: partition/__init__ imports shard, which reaches back
+    # into core.timing — a module-level import here would close the
+    # cycle against a partially-initialized module.
+    from ..bench.export import current_rss_bytes, peak_rss_bytes
+    from ..partition.shard import load_shard
+
+    rss_before = current_rss_bytes()
+    lg, ingest = load_shard(
+        comm, store_dir, plan, chunk_entries=cfg.ooc_chunk_entries
+    )
+    ingest["rss_before_bytes"] = rss_before
+    # Peak at the end of the load stage: the number the out-of-core
+    # guard holds against the shard budget.  The later whole-run peak
+    # additionally includes solver workspace, which scales with the
+    # local graph but has a larger constant.
+    ingest["peak_rss_after_load_bytes"] = peak_rss_bytes()
+    out = _rank_body(comm, lg, cfg, n0)
+    out["ingest"] = ingest
+    return out
+
+
+def _rank_body(
+    comm: Communicator,
+    lg: LocalGraph,
+    cfg: InfomapConfig,
+    n0: int,
+) -> dict[str, Any]:
     rank = comm.rank
     p = comm.size
-    lg = views[rank]
     buf = comm.trace
     timer = PhaseTimer(comm, trace=buf)
     rng = np.random.default_rng(cfg.seed + 7919 * rank)
@@ -1346,8 +1393,31 @@ def distributed_infomap(
         backend=bk,
     )
 
+    return _assemble_result(
+        res,
+        graph.num_vertices,
+        nranks,
+        machine,
+        head_extras={"d_high": dpart.d_high, "num_hubs": dpart.num_hubs},
+    )
+
+
+def _assemble_result(
+    res: Any,
+    num_vertices: int,
+    nranks: int,
+    machine: "MachineModel | None",
+    *,
+    head_extras: "dict[str, Any] | None" = None,
+    tail_extras: "dict[str, Any] | None" = None,
+) -> ClusteringResult:
+    """Turn per-rank SPMD outputs into one :class:`ClusteringResult`.
+
+    Shared by the in-RAM and out-of-core drivers so both report the
+    identical extras schema (plus driver-specific keys).
+    """
     # Assemble the flat membership from per-rank exactly-once pieces.
-    membership = np.full(graph.num_vertices, -1, dtype=np.int64)
+    membership = np.full(num_vertices, -1, dtype=np.int64)
     for out in res.results:
         membership[out["vertices"]] = out["modules"]
     if (membership < 0).any():
@@ -1378,8 +1448,7 @@ def distributed_infomap(
         converged=bool(r0["converged"]),
         extras={
             "nranks": nranks,
-            "d_high": dpart.d_high,
-            "num_hubs": dpart.num_hubs,
+            **(head_extras or {}),
             "codelength_history": r0["codelength_history"],
             "phase_seconds_max": phase_seconds,
             "phase_work_max": phase_work,
@@ -1408,6 +1477,73 @@ def distributed_infomap(
             "stage1_rounds": r0["stage1_rounds"],
             "entries_per_rank": [o["num_entries_stage1"] for o in res.results],
             "ghosts_per_rank": [o["num_ghosts_stage1"] for o in res.results],
+            **(tail_extras or {}),
+        },
+    )
+
+
+def external_infomap(
+    store_dir: "str | Any",
+    nranks: int,
+    config: InfomapConfig | None = None,
+    *,
+    machine: MachineModel | None = None,
+    copy_mode: str = "frames",
+    timeout: float = 600.0,
+    tracer: Any = None,
+    backend: str | None = None,
+) -> ClusteringResult:
+    """Cluster an on-disk CSR store without loading the graph.
+
+    The out-of-core counterpart of :func:`distributed_infomap`: the
+    driver reads only the store header and ``xadj`` to cut
+    entry-balanced contiguous shards (:func:`repro.partition.shard.plan_shards`),
+    ships the tiny :class:`~repro.partition.shard.ShardPlan` to the
+    ranks, and each rank memmaps the store and builds its own
+    :class:`LocalGraph` from its row slice (ghost flows via two sparse
+    exchanges).  Peak per-rank RSS therefore scales with the shard —
+    the property the ingest benchmark guards.
+
+    Partitioning is plain 1D blocks (no delegates): the hub machinery
+    runs with an empty hub set, so the clustering rounds are the exact
+    code path of the in-RAM driver.  Results are bitwise identical to
+    ``distributed_infomap`` run with the same block partition.
+
+    The returned extras carry ``ingest_per_rank`` (per-rank load
+    stats + RSS baselines) and ``peak_rss_per_rank`` (populated by the
+    procs backend; ``None`` entries elsewhere).
+    """
+    from ..partition.shard import plan_shards  # lazy: import cycle
+
+    cfg = config or InfomapConfig()
+    tr = tracer if tracer is not None else cfg.tracer
+    bk = backend if backend is not None else cfg.backend
+    plan = plan_shards(store_dir, nranks)
+
+    ship_cfg = cfg.with_(tracer=None) if cfg.tracer is not None else cfg
+    res = run_spmd(
+        _rank_program_shard,
+        nranks,
+        fn_args=(str(store_dir), plan, ship_cfg, plan.num_vertices),
+        copy_mode=copy_mode,
+        timeout=timeout,
+        tracer=tr,
+        backend=bk,
+    )
+    return _assemble_result(
+        res,
+        plan.num_vertices,
+        nranks,
+        machine,
+        head_extras={"d_high": None, "num_hubs": 0},
+        tail_extras={
+            "store_dir": str(store_dir),
+            "shard_bounds": plan.bounds.tolist(),
+            "ingest_per_rank": [o["ingest"] for o in res.results],
+            "ingest_seconds_max": max(
+                o["ingest"]["seconds"] for o in res.results
+            ),
+            "peak_rss_per_rank": list(getattr(res, "peak_rss", None) or []),
         },
     )
 

@@ -38,6 +38,7 @@ __all__ = [
     "PHASE_OTHER",
     "PHASE_MEASUREMENT",
     "PHASE_REBALANCE",
+    "PHASE_INGEST",
     "PHASES",
 ]
 
@@ -53,6 +54,11 @@ PHASE_MEASUREMENT = "measurement"
 #: skew probe, victim migration and table resync all meter here, so
 #: migration traffic is separable from the paper's four phases.
 PHASE_REBALANCE = "rebalance"
+#: Out-of-core shard loading (see repro.partition.shard): memmap row
+#: reads plus the ghost flow/boundary exchange.  The paper excludes
+#: ingest from its measured stages, so this phase is likewise outside
+#: PHASES and the modeled runtime.
+PHASE_INGEST = "ingest"
 PHASES = (
     PHASE_FIND_BEST,
     PHASE_BROADCAST_DELEGATES,

@@ -55,10 +55,23 @@ from .generators import (
     ring_of_cliques,
     star,
 )
+from .extcsr import (
+    build_csr_store,
+    edgelist_to_store,
+    graph_to_store,
+    metis_to_store,
+    open_csr_store,
+    store_header,
+)
 from .graph import Graph
 from .io import (
+    EdgeChunk,
+    iter_edgelist_chunks,
+    iter_metis_chunks,
     read_edgelist,
+    read_edgelist_legacy,
     read_metis,
+    read_metis_legacy,
     read_pajek,
     write_edgelist,
     write_metis,
@@ -75,6 +88,16 @@ __all__ = [
     "DatasetSpec",
     "DegreeSummary",
     "DiGraph",
+    "EdgeChunk",
+    "build_csr_store",
+    "edgelist_to_store",
+    "graph_to_store",
+    "iter_edgelist_chunks",
+    "iter_metis_chunks",
+    "open_csr_store",
+    "store_header",
+    "read_edgelist_legacy",
+    "read_metis_legacy",
     "digraph_from_edge_array",
     "digraph_from_edges",
     "Graph",

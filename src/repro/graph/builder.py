@@ -13,7 +13,47 @@ import numpy as np
 
 from .graph import Graph
 
-__all__ = ["from_edges", "from_edge_array", "from_adjacency", "relabel_compact"]
+__all__ = [
+    "from_edges",
+    "from_edge_array",
+    "from_adjacency",
+    "relabel_compact",
+    "validate_edge_chunk",
+]
+
+
+def validate_edge_chunk(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coerce and validate one block of raw edges.
+
+    The shared front door of :func:`from_edge_array` (which validates
+    the whole edge set at once) and the out-of-core store builder
+    (which validates chunk by chunk) — both reject the same inputs with
+    the same messages.
+
+    Returns ``(src, dst, weights)`` as ``int64``/``int64``/``float64``
+    arrays, weights defaulting to all-ones.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise ValueError(f"src and dst differ in length: {src.size} vs {dst.size}")
+    if weights is None:
+        wts = np.ones(src.size, dtype=np.float64)
+    else:
+        wts = np.asarray(weights, dtype=np.float64).ravel()
+        if wts.shape != src.shape:
+            raise ValueError("weights length must match edge count")
+        if not np.all(np.isfinite(wts)):
+            raise ValueError("edge weights must be finite")
+        if np.any(wts <= 0):
+            raise ValueError("edge weights must be positive")
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+    return src, dst, wts
 
 
 def from_edges(
@@ -77,22 +117,7 @@ def from_edge_array(
             non-positive weights (zero-weight edges carry no flow and
             would produce log(0) downstream — reject early).
     """
-    src = np.asarray(src, dtype=np.int64).ravel()
-    dst = np.asarray(dst, dtype=np.int64).ravel()
-    if src.shape != dst.shape:
-        raise ValueError(f"src and dst differ in length: {src.size} vs {dst.size}")
-    if weights is None:
-        wts = np.ones(src.size, dtype=np.float64)
-    else:
-        wts = np.asarray(weights, dtype=np.float64).ravel()
-        if wts.shape != src.shape:
-            raise ValueError("weights length must match edge count")
-        if not np.all(np.isfinite(wts)):
-            raise ValueError("edge weights must be finite")
-        if np.any(wts <= 0):
-            raise ValueError("edge weights must be positive")
-    if src.size and (src.min() < 0 or dst.min() < 0):
-        raise ValueError("vertex ids must be non-negative")
+    src, dst, wts = validate_edge_chunk(src, dst, weights)
 
     n = int(num_vertices) if num_vertices is not None else (
         int(max(src.max(initial=-1), dst.max(initial=-1))) + 1 if src.size else 0

@@ -266,7 +266,13 @@ def dataset_names() -> list[str]:
     return list(SMALL_DATASETS) + list(MEDIUM_DATASETS) + list(LARGE_DATASETS)
 
 
-def load_dataset(name: str, *, seed: int = 0, scale: float = 1.0) -> Dataset:
+def load_dataset(
+    name: str,
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    mmap_dir: "str | None" = None,
+) -> Dataset:
     """Build the stand-in for the named paper dataset.
 
     Args:
@@ -275,11 +281,23 @@ def load_dataset(name: str, *, seed: int = 0, scale: float = 1.0) -> Dataset:
             bit-for-bit reproducible.
         scale: multiplies the stand-in's vertex count (0.25 for quick
             tests, >1 for stress runs).
+        mmap_dir: when given, the built graph is persisted as an
+            on-disk CSR store there and the returned Dataset carries
+            the memmap-backed re-opened graph (bitwise-identical CSR;
+            exercises the out-of-core path end to end).
     """
     key = name.lower().replace("-", "").replace("_", "")
     for spec_name, spec in DATASET_SPECS.items():
         if spec_name.replace("-", "") == key:
-            return spec.build(seed=seed, scale=scale)
+            ds = spec.build(seed=seed, scale=scale)
+            if mmap_dir is not None:
+                from dataclasses import replace
+
+                from .extcsr import graph_to_store, open_csr_store
+
+                graph_to_store(ds.graph, mmap_dir)
+                ds = replace(ds, graph=open_csr_store(mmap_dir))
+            return ds
     raise KeyError(
         f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
     )

@@ -123,6 +123,23 @@ class Graph:
         self_w = self.self_loop_weights().sum() if self.num_self_loops else 0.0
         return (nonself - self_w) / 2.0 + self_w
 
+    @property
+    def csr_nbytes(self) -> int:
+        """Bytes of the three CSR columns (the graph's storage cost)."""
+        return int(
+            self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes
+        )
+
+    @property
+    def is_memmapped(self) -> bool:
+        """True when the CSR columns are file-backed ``np.memmap`` views
+        (an out-of-core store opened by
+        :func:`repro.graph.extcsr.open_csr_store`)."""
+        return any(
+            isinstance(a, np.memmap)
+            for a in (self.indptr, self.indices, self.weights)
+        )
+
     # -- per-vertex views -----------------------------------------------------
     def neighbors(self, u: int) -> np.ndarray:
         """Neighbour ids of *u* as a zero-copy view."""

@@ -4,14 +4,28 @@ These are the formats the paper's datasets ship in (SNAP edge lists,
 WebGraph exports converted to edge lists, METIS partitioner inputs);
 supporting them means a user can point this library at the real
 Friendster/UK-2007 files on a machine that can hold them.
+
+The edge-list and METIS readers parse in fixed-size *chunks*: the file
+is read as byte blocks cut at newline boundaries and each block is
+parsed by numpy's C tokenizer (``np.loadtxt`` on a structured dtype)
+instead of a per-line Python loop.  The same chunk iterators feed two
+consumers — the in-RAM readers below (which concatenate the chunks and
+canonicalize once) and the out-of-core CSR builder
+(:mod:`repro.graph.extcsr`), which streams them to disk without ever
+holding all edges.  The original per-line readers are kept as
+``read_edgelist_legacy`` / ``read_metis_legacy``: they are the
+equivalence oracle the tests and the ingest benchmark compare against.
 """
 
 from __future__ import annotations
 
 import gzip
 import io as _io
+import warnings
+from dataclasses import dataclass
+from itertools import chain
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, Iterator
 
 import numpy as np
 
@@ -19,13 +33,29 @@ from .builder import from_edge_array, relabel_compact
 from .graph import Graph
 
 __all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "EdgeChunk",
+    "iter_edgelist_chunks",
+    "iter_metis_chunks",
     "read_edgelist",
+    "read_edgelist_legacy",
     "write_edgelist",
     "read_metis",
+    "read_metis_legacy",
     "write_metis",
     "read_pajek",
     "write_pajek",
 ]
+
+#: Default streaming block size.  Large enough that numpy's tokenizer
+#: dominates the per-block overhead, small enough that a block's parsed
+#: arrays stay cache- and RSS-friendly (~4 MiB of text ≈ 300k edges).
+DEFAULT_CHUNK_BYTES = 4 * 1024 * 1024
+
+# Structured row dtypes: per-column parsing gives per-column type
+# errors (a float where a vertex id belongs is rejected, matching the
+# legacy readers' strict ``int()``).
+_EDGE_DT_W = np.dtype([("u", np.int64), ("v", np.int64), ("w", np.float64)])
 
 
 def _open_text(path: str | Path, mode: str) -> IO[str]:
@@ -35,24 +65,276 @@ def _open_text(path: str | Path, mode: str) -> IO[str]:
     return open(p, mode, encoding="utf-8")
 
 
+def _open_binary(path: str | Path) -> IO[bytes]:
+    p = Path(path)
+    if p.suffix == ".gz":
+        return gzip.open(p, "rb")  # type: ignore[return-value]
+    return open(p, "rb")
+
+
+def _blocks(
+    fh: IO[bytes], chunk_bytes: int
+) -> Iterator[tuple[bytes, int]]:
+    """Yield ``(block, first_lineno)`` byte blocks cut at newlines.
+
+    Every yielded block contains only whole lines (the trailing partial
+    line is carried into the next block), so a numpy parse of the block
+    never sees a split token, and ``first_lineno`` (1-based) lets error
+    paths report exact file positions.
+    """
+    lineno = 1
+    rem = b""
+    while True:
+        buf = fh.read(chunk_bytes)
+        if not buf:
+            if rem:
+                yield rem, lineno
+            return
+        if rem:
+            buf = rem + buf
+        cut = buf.rfind(b"\n")
+        if cut < 0:
+            rem = buf
+            continue
+        block, rem = buf[: cut + 1], buf[cut + 1 :]
+        yield block, lineno
+        lineno += block.count(b"\n")
+
+
+@dataclass(frozen=True)
+class EdgeChunk:
+    """One parsed block of an edge list: parallel endpoint arrays.
+
+    ``weights`` is ``None`` for unweighted files; when present it is
+    aligned with ``src``/``dst``.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    weights: "np.ndarray | None"
+
+
+def _detect_weighted(block: bytes, comments: str) -> "bool | None":
+    """The legacy auto-detect rule: column count of the first data line
+    (with any inline comment stripped) decides weightedness.
+
+    Scans line by line via ``find`` rather than splitting the whole
+    block — only the prefix up to the first data line is ever touched.
+    """
+    cb = comments.encode()
+    off = 0
+    while off < len(block):
+        nl = block.find(b"\n", off)
+        end = len(block) if nl < 0 else nl
+        line = block[off:end].strip()
+        off = end + 1
+        if not line or line.startswith(cb):
+            continue
+        data = line.split(cb)[0] if cb in line else line
+        parts = data.split()
+        if not parts:
+            continue
+        return len(parts) >= 3
+    return None
+
+
+def _raise_located(
+    path: "str | Path",
+    block: bytes,
+    start_lineno: int,
+    comments: str,
+    weighted: bool,
+    cause: Exception,
+) -> None:
+    """Re-scan a failed block per line to name the exact bad line.
+
+    The fast path parses whole blocks, so a parse failure only says
+    "somewhere in these ~300k lines".  This slow path replays the
+    legacy per-line rules on the block with the absolute line numbers
+    the block iterator tracked, raising the same error texts the
+    legacy reader produced.
+    """
+    cb = comments.encode()
+    lineno = start_lineno - 1
+    for raw in block.split(b"\n"):
+        lineno += 1
+        line = raw.strip()
+        if not line or line.startswith(cb):
+            continue
+        text = line.decode("utf-8", "replace")
+        data = text.split(comments)[0] if comments in text else text
+        parts = data.split()
+        if not parts:
+            continue
+        if len(parts) < 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected 'u v [w]', got {text!r}"
+            ) from cause
+        for tok in parts[:2]:
+            try:
+                int(tok)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid vertex id {tok!r}"
+                ) from cause
+        if weighted:
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{lineno}: missing weight column"
+                ) from cause
+            try:
+                float(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid weight {parts[2]!r}"
+                ) from cause
+    raise cause
+
+
+def _parse_edge_block(
+    block: bytes, comments: str, weighted: bool
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None]":
+    """Parse one whole-lines block with numpy's C tokenizer."""
+    with warnings.catch_warnings():
+        # np.loadtxt warns (not errors) on comment-only blocks.
+        warnings.simplefilter("ignore")
+        if weighted:
+            arr = np.loadtxt(
+                _io.BytesIO(block), dtype=_EDGE_DT_W, comments=comments,
+                usecols=(0, 1, 2), ndmin=1,
+            )
+            if arr.size == 0:
+                e = np.empty(0, dtype=np.int64)
+                return e, e, np.empty(0, dtype=np.float64)
+            return (
+                np.ascontiguousarray(arr["u"]),
+                np.ascontiguousarray(arr["v"]),
+                np.ascontiguousarray(arr["w"]),
+            )
+        arr = np.loadtxt(
+            _io.BytesIO(block), dtype=np.int64, comments=comments,
+            usecols=(0, 1), ndmin=2,
+        )
+        if arr.size == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, None
+        return (
+            np.ascontiguousarray(arr[:, 0]),
+            np.ascontiguousarray(arr[:, 1]),
+            None,
+        )
+
+
+def iter_edgelist_chunks(
+    path: str | Path,
+    *,
+    comments: str = "#",
+    weighted: "bool | None" = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[EdgeChunk]:
+    """Stream an edge-list file as :class:`EdgeChunk` blocks.
+
+    The building block of both :func:`read_edgelist` and the
+    out-of-core store builder: at no point does more than one block of
+    text (plus its parsed columns) exist in memory.  ``weighted=None``
+    auto-detects from the first data line, even when that line sits
+    blocks deep behind comments.  Malformed lines raise ``ValueError``
+    with the exact ``path:lineno``.
+    """
+    with _open_binary(path) as fh:
+        for block, start_lineno in _blocks(fh, chunk_bytes):
+            if weighted is None:
+                weighted = _detect_weighted(block, comments)
+                if weighted is None:
+                    continue  # comments/blank only; keep probing
+            try:
+                src, dst, wts = _parse_edge_block(block, comments, weighted)
+            except ValueError as exc:
+                _raise_located(
+                    path, block, start_lineno, comments, weighted, exc
+                )
+                raise  # pragma: no cover - _raise_located always raises
+            if src.size:
+                yield EdgeChunk(src=src, dst=dst, weights=wts)
+
+
 def read_edgelist(
     path: str | Path,
     *,
     comments: str = "#",
     weighted: bool | None = None,
     relabel: bool = False,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
 ) -> Graph | tuple[Graph, np.ndarray]:
     """Read a whitespace-separated edge list (SNAP convention).
 
     Lines are ``u v`` or ``u v w``; lines starting with *comments* are
-    skipped; ``.gz`` paths are decompressed transparently.
+    skipped; ``.gz`` paths are decompressed transparently.  Parsing is
+    chunked-vectorized (see :func:`iter_edgelist_chunks`); the result
+    is bit-identical to :func:`read_edgelist_legacy`.
 
     Args:
         weighted: force (``True``)/forbid (``False``) a weight column;
             ``None`` auto-detects from the first data line.
         relabel: when True, compact arbitrary vertex ids onto
             ``0..n-1`` and also return the ``original_ids`` array.
+        chunk_bytes: streaming block size (tests shrink it to exercise
+            chunk-boundary paths).
     """
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    wlst: list[np.ndarray] = []
+    saw_weights = False
+    for chunk in iter_edgelist_chunks(
+        path, comments=comments, weighted=weighted, chunk_bytes=chunk_bytes
+    ):
+        srcs.append(chunk.src)
+        dsts.append(chunk.dst)
+        if chunk.weights is not None:
+            saw_weights = True
+            wlst.append(chunk.weights)
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+    wts = np.concatenate(wlst) if saw_weights else None
+    if relabel:
+        src, dst, original = relabel_compact(src, dst)
+        return from_edge_array(src, dst, wts), original
+    return from_edge_array(src, dst, wts)
+
+
+def read_edgelist_legacy(
+    path: str | Path,
+    *,
+    comments: str = "#",
+    weighted: bool | None = None,
+    relabel: bool = False,
+) -> Graph | tuple[Graph, np.ndarray]:
+    """The pre-chunking per-line edge-list reader.
+
+    Kept verbatim as the equivalence oracle: tests assert the chunked
+    reader produces a byte-identical CSR, and the ingest benchmark
+    measures its parse stage against the chunked parser.
+    """
+    src, dst, wts = _parse_edgelist_perline(
+        path, comments=comments, weighted=weighted
+    )
+    if relabel:
+        src, dst, original = relabel_compact(src, dst)
+        return from_edge_array(src, dst, wts), original
+    return from_edge_array(src, dst, wts)
+
+
+def _parse_edgelist_perline(
+    path: str | Path,
+    *,
+    comments: str = "#",
+    weighted: bool | None = None,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None]":
+    """The legacy parse stage: per-line split/append into Python lists."""
     us: list[int] = []
     vs: list[int] = []
     ws: list[float] = []
@@ -75,10 +357,7 @@ def read_edgelist(
     src = np.asarray(us, dtype=np.int64)
     dst = np.asarray(vs, dtype=np.int64)
     wts = np.asarray(ws, dtype=np.float64) if weighted else None
-    if relabel:
-        src, dst, original = relabel_compact(src, dst)
-        return from_edge_array(src, dst, wts), original
-    return from_edge_array(src, dst, wts)
+    return src, dst, wts
 
 
 def write_edgelist(graph: Graph, path: str | Path, *, weighted: bool | None = None
@@ -94,11 +373,304 @@ def write_edgelist(graph: Graph, path: str | Path, *, weighted: bool | None = No
                 fh.write(f"{u} {v}\n")
 
 
-def read_metis(path: str | Path) -> Graph:
+# ---------------------------------------------------------------------------
+# METIS
+# ---------------------------------------------------------------------------
+
+def _metis_header(header: list[bytes], path: "str | Path"
+                  ) -> tuple[int, int, bool]:
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2].decode() if len(header) > 2 else "0"
+    if fmt not in ("0", "1", "001"):
+        raise ValueError(f"{path}: unsupported METIS fmt {fmt!r} (vertex weights)")
+    return n, m, fmt in ("1", "001")
+
+
+# SWAR decimal parse (Lemire's parse_eight_digits): one uint64 holds a
+# token's ASCII digits (first digit in the low byte), three
+# multiply/shift/mask steps combine adjacent lanes pairwise.
+_SWAR_ZEROS = np.uint64(0x3030303030303030)
+#: Low-``L``-bytes masks, indexed by token length 0..8.
+_SWAR_MASK = np.array(
+    [(1 << (8 * k)) - 1 for k in range(9)], dtype=np.uint64
+)
+#: Bits to shift a length-``L`` token up so its digits occupy the high
+#: bytes of the word (the least-significant *decimal* positions).
+_SWAR_SHIFT = np.array([8 * (8 - k) for k in range(9)], dtype=np.uint64)
+#: ``'0'`` characters for the vacated low bytes — leading decimal
+#: zeros, which don't change the parsed value.
+_SWAR_LOPAD = np.array(
+    [0x3030303030303030 & ((1 << (8 * (8 - k))) - 1) for k in range(9)],
+    dtype=np.uint64,
+)
+
+#: The full fast-path alphabet for unweighted METIS data blocks;
+#: ``translate(None, ...)`` deletes these, so any residue means the
+#: block needs the general per-line path.
+_METIS_FAST_CHARS = b"0123456789 \t\r\n"
+
+
+def _swar_parse_uints(
+    padded: np.ndarray, starts: np.ndarray, lens: np.ndarray
+) -> np.ndarray:
+    """Parse ASCII decimal tokens (length <= 8) to int64, vectorized.
+
+    ``padded`` is the block's bytes with >= 8 trailing pad bytes so an
+    8-byte window at any token start is in bounds.  Each window is
+    loaded as one little-endian uint64 (first char in the low byte),
+    shifted up so the token's digits sit in the high bytes with
+    leading-``'0'`` chars below, and the digit lanes are combined with
+    three multiply-shift-mask steps instead of a per-digit loop.
+    """
+    win = np.lib.stride_tricks.sliding_window_view(padded, 8)
+    x = np.ascontiguousarray(win[starts]).view("<u8").reshape(-1)
+    x = ((x & _SWAR_MASK[lens]) << _SWAR_SHIFT[lens]) | _SWAR_LOPAD[lens]
+    x -= _SWAR_ZEROS
+    x = ((x * np.uint64(1 + (10 << 8))) >> np.uint64(8)) \
+        & np.uint64(0x00FF00FF00FF00FF)
+    x = ((x * np.uint64(1 + (100 << 16))) >> np.uint64(16)) \
+        & np.uint64(0x0000FFFF0000FFFF)
+    x = ((x * np.uint64(1 + (10000 << 32))) >> np.uint64(32)) \
+        & np.uint64(0xFFFFFFFF)
+    return x.view(np.int64)  # values < 2**32: bit-identical reinterpret
+
+
+def _metis_block_fast(
+    block: bytes,
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Vectorized whole-block parse for unweighted METIS adjacency.
+
+    A fmt=0 data block is nothing but neighbour ids separated by
+    whitespace; the only reason rows matter is to know how many ids
+    belong to each vertex.  So: find the digit-run tokens with boolean
+    masks, count tokens per line with one ``searchsorted``, and parse
+    the token values with the SWAR kernel — no per-row Python
+    ``split``, no list of token strings, no per-token ``int()``.
+    Returns ``(deg, nbrs)`` where ``deg`` holds the token count of
+    each *kept* (non-blank) row, or ``None`` when the block contains
+    anything but digits and whitespace, or an id wider than 8 digits
+    (the caller falls back to the per-line path, which reproduces the
+    legacy semantics and error texts).
+    """
+    if block.translate(None, _METIS_FAST_CHARS):
+        return None  # anything beyond digits + whitespace: slow path
+    buf = np.frombuffer(block, dtype=np.uint8)
+    if buf.size == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    isdig = (buf >= 48) & (buf <= 57)
+    smask = isdig.copy()
+    smask[1:] &= ~isdig[:-1]
+    tok_starts = np.flatnonzero(smask)
+    if tok_starts.size == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    emask = isdig
+    emask[:-1] &= ~isdig[1:]  # isdig not reused below; mutate in place
+    lens = np.flatnonzero(emask) - tok_starts + 1
+    if int(lens.max()) > 8:  # ids >= 10**8: rare; keep the kernel lean
+        return None
+    line_ends = np.flatnonzero(buf == 10)
+    if line_ends.size == 0 or line_ends[-1] != buf.size - 1:
+        line_ends = np.append(line_ends, buf.size - 1)
+    per_line = np.diff(
+        np.searchsorted(tok_starts, line_ends, side="right"), prepend=0
+    )
+    deg = per_line[per_line > 0]  # blank lines are skipped, not rows
+    padded = np.concatenate([buf, np.full(8, 48, dtype=np.uint8)])
+    return deg, _swar_parse_uints(padded, tok_starts, lens)
+
+
+def iter_metis_chunks(
+    path: str | Path,
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[tuple]:
+    """Stream a METIS file as tagged items.
+
+    Yields ``("header", n, m, has_ew)`` once, then
+    ``("edges", src, dst, weights)`` blocks (0-indexed, one direction
+    per stored adjacency entry — METIS lists each edge from both
+    rows), and finally ``("rows", count)`` so the consumer can
+    validate the row count against *n*.
+
+    Unweighted (fmt=0) blocks without comments take a fully vectorized
+    path (:func:`_metis_block_fast`); weighted or commented blocks are
+    tokenized per row, with the kept rows' tokens flattened into one
+    numpy string array and cast in bulk instead of a per-token
+    ``int()`` loop.
+    """
+    header: "tuple[int, int, bool] | None" = None
+    u0 = 0
+    with _open_binary(path) as fh:
+        for block, start_lineno in _blocks(fh, chunk_bytes):
+            if header is None:
+                # Peel just the header line off so the rest of this
+                # block can still take the vectorized path.
+                off = 0
+                while off < len(block):
+                    nl = block.find(b"\n", off)
+                    end = len(block) if nl < 0 else nl
+                    s = block[off:end].strip()
+                    off = end + 1
+                    start_lineno += 1
+                    if s and not s.startswith(b"%"):
+                        header = _metis_header(s.split(), path)
+                        yield ("header", *header)
+                        break
+                if header is None:
+                    continue  # comments/blanks only; keep probing
+                block = block[off:]
+                if not block:
+                    continue
+            if not header[2] and b"%" not in block:
+                fast = _metis_block_fast(block)
+                if fast is not None:
+                    deg, nbrs = fast
+                    if deg.size:
+                        src = np.repeat(
+                            np.arange(u0, u0 + deg.size, dtype=np.int64),
+                            deg,
+                        )
+                        yield ("edges", src, nbrs - 1, None)
+                        u0 += deg.size
+                    continue
+            lines = block.split(b"\n")
+            kept: list[bytes] = []
+            kept_lineno: list[int] = []
+            for i, raw in enumerate(lines):
+                s = raw.strip()
+                if s and not s.startswith(b"%"):
+                    kept.append(s)
+                    kept_lineno.append(start_lineno + i)
+            if not kept:
+                continue
+            _n, _m, has_ew = header
+            splits = [r.split() for r in kept]
+            counts = np.fromiter(
+                map(len, splits), dtype=np.int64, count=len(splits)
+            )
+            if has_ew and np.any(counts % 2):
+                bad = int(np.flatnonzero(counts % 2)[0])
+                raise ValueError(
+                    f"{path}:{kept_lineno[bad]}: fmt=1 rows must hold "
+                    f"(neighbour, weight) pairs, got {counts[bad]} tokens"
+                )
+            toks = np.asarray(list(chain.from_iterable(splits)))
+            try:
+                if has_ew:
+                    nbrs = toks[0::2].astype(np.int64)
+                    wts: "np.ndarray | None" = toks[1::2].astype(np.float64)
+                    deg = counts // 2
+                else:
+                    nbrs = toks.astype(np.int64) if toks.size else np.empty(
+                        0, dtype=np.int64
+                    )
+                    wts = None
+                    deg = counts
+            except ValueError as exc:
+                _raise_metis_located(path, splits, kept_lineno, has_ew, exc)
+                raise  # pragma: no cover - locator always raises
+            src = np.repeat(
+                np.arange(u0, u0 + len(kept), dtype=np.int64), deg
+            )
+            yield ("edges", src, nbrs - 1, wts)
+            u0 += len(kept)
+    if header is None:
+        raise ValueError(f"{path}: empty METIS file")
+    yield ("rows", u0)
+
+
+def _raise_metis_located(
+    path: "str | Path",
+    splits: list[list[bytes]],
+    linenos: list[int],
+    has_ew: bool,
+    cause: Exception,
+) -> None:
+    """Name the exact METIS line whose token failed to parse."""
+    for row, lineno in zip(splits, linenos):
+        step = 2 if has_ew else 1
+        for i in range(0, len(row), step):
+            try:
+                int(row[i])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid neighbour id "
+                    f"{row[i].decode('utf-8', 'replace')!r}"
+                ) from cause
+            if has_ew:
+                try:
+                    float(row[i + 1])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid edge weight "
+                        f"{row[i + 1].decode('utf-8', 'replace')!r}"
+                    ) from cause
+    raise cause
+
+
+def read_metis(
+    path: str | Path, *, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> Graph:
     """Read a METIS ``.graph`` file (1-indexed adjacency lists).
 
     Header: ``n m [fmt]``; fmt ``1`` means edge weights follow each
     neighbour id.  Vertex weights (fmt ``10``/``11``) are not supported.
+    Bit-identical to :func:`read_metis_legacy`.
+    """
+    n = m = 0
+    has_ew = False
+    num_rows = 0
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    wlst: list[np.ndarray] = []
+    for item in iter_metis_chunks(path, chunk_bytes=chunk_bytes):
+        tag = item[0]
+        if tag == "header":
+            _, n, m, has_ew = item
+        elif tag == "rows":
+            num_rows = item[1]
+        else:
+            _, src, dst, wts = item
+            srcs.append(src)
+            dsts.append(dst)
+            if wts is not None:
+                wlst.append(wts)
+    if num_rows != n:
+        raise ValueError(f"{path}: header says n={n} but found {num_rows} rows")
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    g = from_edge_array(
+        src, dst,
+        np.concatenate(wlst) if wlst else None,
+        num_vertices=n,
+        dedup="first",
+    )
+    if g.num_edges != m:
+        raise ValueError(f"{path}: header says m={m} but adjacency has {g.num_edges}")
+    return g
+
+
+def read_metis_legacy(path: str | Path) -> Graph:
+    """The pre-chunking per-line METIS reader (equivalence oracle)."""
+    src, dst, wts, n, m = _parse_metis_perline(path)
+    g = from_edge_array(
+        src, dst, wts,
+        num_vertices=n,
+        dedup="first",
+    )
+    if g.num_edges != m:
+        raise ValueError(f"{path}: header says m={m} but adjacency has {g.num_edges}")
+    return g
+
+
+def _parse_metis_perline(
+    path: str | Path,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, int, int]":
+    """The legacy METIS parse stage: nested per-token ``int()`` loops.
+
+    Kept verbatim (like :func:`_parse_edgelist_perline`) so the ingest
+    benchmark can time parsing alone, without the shared CSR build.
+    Returns ``(src, dst, weights, n, m)``.
     """
     with _open_text(path, "r") as fh:
         header: list[str] | None = None
@@ -132,16 +704,13 @@ def read_metis(path: str | Path) -> Graph:
             vs.append(v)
             if has_ew:
                 ws.append(float(parts[i + 1]))
-    g = from_edge_array(
+    return (
         np.asarray(us, np.int64),
         np.asarray(vs, np.int64),
         np.asarray(ws) if has_ew else None,
-        num_vertices=n,
-        dedup="first",
+        n,
+        m,
     )
-    if g.num_edges != m:
-        raise ValueError(f"{path}: header says m={m} but adjacency has {g.num_edges}")
-    return g
 
 
 def write_metis(graph: Graph, path: str | Path) -> None:

@@ -21,19 +21,33 @@ import numpy as np
 __all__ = ["build_manifest", "config_dict", "graph_fingerprint"]
 
 
+#: Bytes hashed per ``update`` call in :func:`graph_fingerprint`.  The
+#: digest is invariant to this (SHA-256 streams), so it only bounds the
+#: temporary copy made per chunk — which is what lets a memmap-backed
+#: graph be fingerprinted without materializing its columns in RAM.
+FINGERPRINT_CHUNK_BYTES = 8 << 20
+
+
 def graph_fingerprint(graph: Any) -> str:
     """SHA-256 over the CSR arrays — a content id for the input graph.
 
-    Hashes shapes and raw bytes of ``indptr``/``indices``/``weights``
-    in a fixed order, so two graphs fingerprint equal iff their CSR
-    representations are byte-identical.
+    Hashes dtype, shape and raw bytes of ``indptr``/``indices``/
+    ``weights`` in a fixed order, so two graphs fingerprint equal iff
+    their CSR representations are byte-identical.  Bytes are fed to the
+    hash in fixed-size chunks (:data:`FINGERPRINT_CHUNK_BYTES`), so an
+    out-of-core graph whose columns are ``np.memmap`` views is hashed
+    at bounded RSS; chunking cannot change the digest, so in-RAM and
+    memmap-backed copies of the same CSR fingerprint identically.
     """
     h = hashlib.sha256()
     for arr in (graph.indptr, graph.indices, graph.weights):
-        a = np.ascontiguousarray(arr)
-        h.update(str(a.dtype).encode())
-        h.update(str(a.shape).encode())
-        h.update(a.tobytes())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        flat = arr if (arr.ndim == 1 and arr.flags["C_CONTIGUOUS"]) \
+            else np.ascontiguousarray(arr).reshape(-1)
+        step = max(1, FINGERPRINT_CHUNK_BYTES // max(1, flat.itemsize))
+        for lo in range(0, flat.size, step):
+            h.update(np.asarray(flat[lo:lo + step]).tobytes())
     return h.hexdigest()
 
 

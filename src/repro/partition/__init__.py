@@ -14,7 +14,13 @@ from .distgraph import (
     local_views_delegate,
 )
 from .ghosts import ghost_counts_1d, ghost_sets_1d, ghost_sets_from_entry_ranks
-from .oned import OneDPartition, block_owners, round_robin_owners
+from .oned import (
+    OneDPartition,
+    block_owners,
+    entry_balanced_bounds,
+    round_robin_owners,
+)
+from .shard import ShardPlan, load_shard, plan_shards
 
 __all__ = [
     "BalanceStats",
@@ -22,6 +28,10 @@ __all__ = [
     "LocalGraph",
     "OneDPartition",
     "PartitionComparison",
+    "ShardPlan",
+    "entry_balanced_bounds",
+    "load_shard",
+    "plan_shards",
     "balance_stats",
     "block_owners",
     "build_local_graphs",

@@ -132,6 +132,14 @@ class LocalGraph:
         """Locally stored adjacency entries — the rank's workload."""
         return int(self.nbr.size)
 
+    @property
+    def csr_nbytes(self) -> int:
+        """Bytes of the local CSR columns (indptr + nbr + nbr_flow) —
+        the denominator of the out-of-core per-rank RSS budget."""
+        return int(
+            self.indptr.nbytes + self.nbr.nbytes + self.nbr_flow.nbytes
+        )
+
     def owned_slice(self) -> slice:
         return slice(0, self.num_owned)
 

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..graph.graph import Graph
 
-__all__ = ["OneDPartition", "block_owners", "round_robin_owners"]
+__all__ = [
+    "OneDPartition",
+    "block_owners",
+    "entry_balanced_bounds",
+    "round_robin_owners",
+]
 
 
 def block_owners(num_vertices: int, nranks: int) -> np.ndarray:
@@ -38,6 +43,34 @@ def round_robin_owners(num_vertices: int, nranks: int) -> np.ndarray:
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     return (np.arange(num_vertices, dtype=np.int64) % nranks).astype(np.int64)
+
+
+def entry_balanced_bounds(indptr: np.ndarray, nranks: int) -> np.ndarray:
+    """Contiguous row ranges with ~equal adjacency *entries* per rank.
+
+    Returns ``bounds`` (``int64[nranks+1]``, ``bounds[0]=0``,
+    ``bounds[-1]=n``); rank r owns rows ``[bounds[r], bounds[r+1])``.
+    Row ``v`` goes to the rank whose entry quota its prefix sum falls
+    into — one ``searchsorted`` over ``indptr``, which is why the
+    out-of-core shard planner can run it on a memmapped ``xadj``
+    without reading the adjacency at all.  Contiguity is what lets a
+    rank later read exactly one slice of the on-disk CSR.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    indptr = np.asarray(indptr)
+    n = indptr.size - 1
+    nnz = int(indptr[-1])
+    targets = (np.arange(1, nranks, dtype=np.int64) * nnz) // nranks
+    cuts = np.searchsorted(indptr, targets, side="left").astype(np.int64)
+    bounds = np.empty(nranks + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[1:nranks] = np.minimum(cuts, n)
+    bounds[nranks] = n
+    # Degenerate quotas (huge rows, tiny graphs) can produce decreasing
+    # cuts; enforce monotonicity so every row has exactly one owner.
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds
 
 
 @dataclass(frozen=True)
@@ -67,6 +100,19 @@ class OneDPartition:
     def block(cls, graph_or_n: "Graph | int", nranks: int) -> "OneDPartition":
         n = graph_or_n if isinstance(graph_or_n, int) else graph_or_n.num_vertices
         return cls(owner=block_owners(n, nranks), nranks=nranks)
+
+    @classmethod
+    def block_balanced(cls, graph: Graph, nranks: int) -> "OneDPartition":
+        """Contiguous blocks sized by adjacency entries, not vertices.
+
+        The ownership the out-of-core shard loader uses: same row
+        ranges as :func:`entry_balanced_bounds` on the graph's indptr.
+        """
+        bounds = entry_balanced_bounds(graph.indptr, nranks)
+        owner = np.repeat(
+            np.arange(nranks, dtype=np.int64), np.diff(bounds)
+        )
+        return cls(owner=owner, nranks=nranks)
 
     @property
     def num_vertices(self) -> int:

@@ -34,6 +34,17 @@ __all__ = ["SpmdResult", "run_spmd", "BACKENDS"]
 
 log = get_logger("simmpi.engine")
 
+
+def _process_peak_rss() -> int:
+    """Whole-process peak RSS, for the shared-address-space backends.
+
+    Lazy import: ``repro.bench`` pulls in ``repro.core`` which imports
+    this module — a top-level import would see a half-built package.
+    """
+    from ..bench.export import peak_rss_bytes
+
+    return peak_rss_bytes()
+
 #: Valid values for :func:`run_spmd`'s ``backend``.
 BACKENDS = ("threads", "procs", "serial")
 
@@ -50,11 +61,19 @@ class SpmdResult:
             exists every rank has joined, so the tracer's per-rank
             buffers are complete and ``trace.merged_events()`` is the
             deterministic finalize-time merge.
+        peak_rss: per-rank peak resident set size in bytes, indexed by
+            rank.  On the ``procs`` backend each entry is that rank
+            *process*'s own high-water mark (sampled by the child just
+            before it ships its result); on ``threads``/``serial`` the
+            ranks share one address space, so the whole-process peak is
+            replicated to every rank.  Empty when sampling was
+            unavailable.
     """
 
     results: list[Any]
     ledger: CommLedger
     trace: Any = None
+    peak_rss: list[int] = field(default_factory=list)
 
     @property
     def nranks(self) -> int:
@@ -147,6 +166,7 @@ def run_spmd(
         return SpmdResult(
             results=[value], ledger=comm.ledger,
             trace=tracer if tracing else None,
+            peak_rss=[_process_peak_rss()],
         )
 
     if backend == "procs":
@@ -243,4 +263,6 @@ def run_spmd(
     return SpmdResult(
         results=[o.value for o in outcomes], ledger=ctx.ledger,
         trace=tracer if tracing else None,
+        # One address space: every rank reports the shared process peak.
+        peak_rss=[_process_peak_rss()] * nranks,
     )

@@ -354,6 +354,7 @@ def _ship_result(
     err: "tuple[BaseException, str] | None",
     snap: dict,
     trace_payload: Any,
+    peak_rss: int,
 ) -> None:
     """Post a rank's report, degrading gracefully if it won't pickle.
 
@@ -362,7 +363,7 @@ def _ship_result(
     misdiagnose the rank as dead.  Pre-flight the pickle here and
     substitute a sanitized report instead.
     """
-    payload = (rank, status, value, err, snap, trace_payload)
+    payload = (rank, status, value, err, snap, trace_payload, peak_rss)
     try:
         pickle.dumps(payload)
     except Exception as pickle_exc:  # noqa: BLE001 - any pickling failure
@@ -384,7 +385,7 @@ def _ship_result(
                 ),
                 "",
             )
-        payload = (rank, status, None, err, snap, trace_payload)
+        payload = (rank, status, None, err, snap, trace_payload, peak_rss)
     result_q.put(payload)
 
 
@@ -418,9 +419,14 @@ def _spmd_proc_main(
         state.ctrl.abort(rank)
     buf = comm.stats.trace
     trace_payload = (buf.events, buf._cum) if tracing else None
+    # Sample this child's own high-water mark last, so the number
+    # covers the whole rank program.  Lazy import: repro.bench reaches
+    # repro.core which imports this package.
+    from ..bench.export import peak_rss_bytes
+
     _ship_result(
         result_q, rank, status, value, err, comm.stats.snapshot(),
-        trace_payload,
+        trace_payload, peak_rss_bytes(),
     )
     result_q.close()
     result_q.join_thread()
@@ -580,7 +586,7 @@ def run_spmd_procs(
     # -- merge ledgers and traces ----------------------------------------
     ledger = CommLedger(nranks)
     for r, rep in sorted(reports.items()):
-        _rank, _status, _value, _err, snap, trace_payload = rep
+        _rank, _status, _value, _err, snap, trace_payload, _peak = rep
         ledger.load_snapshot(r, snap)
         if tracing and trace_payload is not None:
             events, cumulative = trace_payload
@@ -601,7 +607,7 @@ def run_spmd_procs(
         err_out.spmd_ledger = ledger
         raise err_out
     for r in sorted(reports):
-        _rank, status, _value, err, _snap, _tr = reports[r]
+        _rank, status, _value, err, _snap, _tr, _peak = reports[r]
         if status == "error" and err is not None:
             exc, tb_text = err
             exc.spmd_ledger = ledger
@@ -625,4 +631,5 @@ def run_spmd_procs(
         results=[reports[r][2] for r in range(nranks)],
         ledger=ledger,
         trace=tracer if tracing else None,
+        peak_rss=[int(reports[r][6]) for r in range(nranks)],
     )

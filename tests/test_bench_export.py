@@ -44,6 +44,21 @@ def test_host_info_shape():
     assert isinstance(info["platform"], str) and info["platform"]
     if info["load_avg"] is not None:
         assert len(info["load_avg"]) == 3
+    assert isinstance(info["peak_rss_bytes"], int)
+    assert info["peak_rss_bytes"] >= 0
+
+
+def test_rss_samplers():
+    from repro.bench.export import current_rss_bytes, peak_rss_bytes
+
+    cur, peak = current_rss_bytes(), peak_rss_bytes()
+    # Linux: both readable and peak >= current (same process lifetime).
+    assert cur > 0 and peak >= cur
+    # Touching ~32 MiB must move the current-RSS needle.
+    import numpy as np
+
+    blob = np.ones(4 << 20, dtype=np.float64)
+    assert current_rss_bytes() >= cur + blob.nbytes // 2
 
 
 def test_result_to_json_stamps_host(tmp_path):
@@ -91,13 +106,21 @@ def test_merge_bench_reports(tmp_path):
             {"rebalance": True, "skew": 1.4, "skew_improvement": 2.3},
         ], "host": {"cpus": 8, "platform": "Linux-test"}})
     )
+    (tmp_path / "BENCH_ingest.json").write_text(
+        json.dumps({"rows": [
+            {"stage": "build", "edges_per_sec": 2.5e6},
+            {"stage": "cluster", "rss_budget_ratio": 0.6},
+        ], "host": {"cpus": 8, "peak_rss_bytes": 123456}})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 6
+    assert report["count"] == 7
     assert sorted(report["benchmarks"]) == [
-        "obs", "procs", "rebalance", "swap", "sweep", "wire"
+        "ingest", "obs", "procs", "rebalance", "swap", "sweep", "wire"
     ]
+    assert report["benchmarks"]["ingest"]["rows"][1]["rss_budget_ratio"] \
+        == 0.6
     assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5
     assert report["benchmarks"]["wire"]["rows"][1]["speedup"] == 2.8
     assert report["benchmarks"]["obs"]["rows"][1]["overhead"] == 1.05
