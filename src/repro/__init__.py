@@ -35,6 +35,7 @@ from .core import (
     ClusteringResult,
     DistributedInfomap,
     FlowNetwork,
+    IncrementalSession,
     InfomapConfig,
     LevelRecord,
     ModuleStats,
@@ -42,18 +43,23 @@ from .core import (
     distributed_infomap,
     external_infomap,
     sequential_infomap,
+    warm_distributed_infomap,
 )
 from .graph import (
     Graph,
+    GraphDelta,
     LabeledGraph,
+    apply_delta,
     dataset_names,
     from_edge_array,
     from_edges,
     load_dataset,
     planted_partition,
     powerlaw_planted_partition,
+    read_delta_file,
     read_edgelist,
     ring_of_cliques,
+    write_delta_file,
     write_edgelist,
 )
 from .metrics import compare_partitions, f_measure, jaccard_index, modularity, nmi
@@ -75,6 +81,8 @@ __all__ = [
     "DistributedInfomap",
     "FlowNetwork",
     "Graph",
+    "GraphDelta",
+    "IncrementalSession",
     "InfomapConfig",
     "LabeledGraph",
     "LevelRecord",
@@ -86,6 +94,7 @@ __all__ = [
     "SpmdResult",
     "Tracer",
     "__version__",
+    "apply_delta",
     "build_run_artifact",
     "compare_partitionings",
     "compare_partitions",
@@ -102,9 +111,12 @@ __all__ = [
     "nmi",
     "planted_partition",
     "powerlaw_planted_partition",
+    "read_delta_file",
     "read_edgelist",
     "ring_of_cliques",
     "run_spmd",
     "sequential_infomap",
+    "warm_distributed_infomap",
+    "write_delta_file",
     "write_edgelist",
 ]

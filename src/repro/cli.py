@@ -12,6 +12,9 @@ Subcommands:
 * ``ingest``    — stream an edge file into an on-disk memory-mapped
   CSR store (two-pass external build; bounded RSS); the store then
   feeds ``cluster --store DIR`` and the out-of-core ``--ooc`` path.
+* ``update``    — incremental re-solve: apply a delta file (edge
+  inserts/deletes/reweights) to a clustered graph and warm-start from
+  the cached partition, re-optimizing only the changed region.
 * ``bench``     — regenerate one of the paper's tables/figures.
 * ``datasets``  — list the available Table-1 stand-ins.
 
@@ -27,6 +30,9 @@ Examples::
     repro-infomap ingest --input big.txt.gz --out big.csr
     repro-infomap cluster --store big.csr --method distributed \\
         --ranks 4 --backend procs --ooc
+    repro-infomap cluster --input graph.txt -o part.tsv
+    repro-infomap update --input graph.txt --partition part.tsv \\
+        --delta day1.delta -o part1.tsv
     repro-infomap partition --dataset uk2005 --ranks 32
     repro-infomap bench --experiment fig7 --ranks 32
 """
@@ -163,9 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pg.add_argument("--input", required=True,
                     help="edge file (.gz transparent)")
-    pg.add_argument("--format", choices=["edgelist", "metis"],
+    pg.add_argument("--format", choices=["edgelist", "metis", "snap"],
                     default="edgelist", dest="fmt",
-                    help="input format (default: edgelist)")
+                    help="input format (default: edgelist; 'snap' is an "
+                         "edge list with '#' comment headers, as "
+                         "distributed by the SNAP collection)")
     pg.add_argument("--out", required=True, metavar="DIR",
                     help="store directory (created if missing)")
     pg.add_argument("--chunk-bytes", type=int, default=None,
@@ -181,6 +189,41 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument("--keep-self-loops", action="store_true",
                     help="keep self-loops instead of dropping them "
                          "(edgelist only)")
+
+    pu = sub.add_parser(
+        "update",
+        help="apply a delta file to a clustered graph and warm-start "
+             "re-solve only the changed region (incremental Infomap)",
+    )
+    src = pu.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="edge-list file (u v [w] per line)")
+    src.add_argument(
+        "--store", metavar="DIR",
+        help="on-disk CSR store; patched in place after a successful "
+             "re-solve so it stays the source of truth",
+    )
+    pu.add_argument("--partition", required=True, metavar="TSV",
+                    help="cached partition from 'cluster -o' "
+                         "(vertex<TAB>module per line) — the warm seed")
+    pu.add_argument("--delta", required=True, metavar="FILE",
+                    help="delta file: '+ u v [w]' insert, '- u v' "
+                         "delete, '~ u v w' reweight, one per line")
+    pu.add_argument("--method", choices=["sequential", "distributed"],
+                    default="sequential")
+    pu.add_argument("--ranks", type=parse_ranks, default=4,
+                    metavar="N|auto")
+    pu.add_argument("--backend", choices=["threads", "procs", "serial"],
+                    default="threads")
+    pu.add_argument("--seed", type=int, default=0)
+    pu.add_argument("--dirty-hops", type=int, default=None,
+                    help="re-seed radius around delta endpoints "
+                         "(default: config's warm_dirty_hops)")
+    pu.add_argument("--output", "-o",
+                    help="write the updated 'vertex<TAB>module' here")
+    pu.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a run-trace artifact (includes the delta instant)",
+    )
 
     pb = sub.add_parser("bench", help="regenerate a paper table/figure")
     pb.add_argument(
@@ -309,6 +352,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from .bench.report import format_value, render_table
     from .obs import (
         counter_final_values,
+        delta_rows,
         load_run_artifact,
         rebalance_rows,
         span_seconds_by_rank,
@@ -392,6 +436,22 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             )
         )
 
+    # Incremental delta batches (warm-start session instants).
+    deltas = delta_rows(events)
+    if deltas:
+        print()
+        print(
+            render_table(
+                deltas,
+                title="incremental delta batches",
+                columns=[
+                    "batch", "insert", "delete", "reweight",
+                    "dirty_vertices", "dirty_fraction", "codelength",
+                    "solve_seconds",
+                ],
+            )
+        )
+
     # Per-phase communication totals.
     phase_comm = artifact.get("phase_comm", {})
     if phase_comm:
@@ -448,13 +508,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     import time
 
     from .bench.export import peak_rss_bytes
-    from .graph import edgelist_to_store, metis_to_store
+    from .graph import edgelist_to_store, metis_to_store, snap_to_store
     from .graph.io import DEFAULT_CHUNK_BYTES
 
     chunk = args.chunk_bytes or DEFAULT_CHUNK_BYTES
     t0 = time.perf_counter()
     if args.fmt == "metis":
         header = metis_to_store(args.input, args.out, chunk_bytes=chunk)
+    elif args.fmt == "snap":
+        weighted = {"auto": None, "yes": True, "no": False}[args.weighted]
+        header = snap_to_store(
+            args.input, args.out,
+            weighted=weighted, chunk_bytes=chunk,
+            dedup=args.dedup, keep_self_loops=args.keep_self_loops,
+        )
     else:
         weighted = {"auto": None, "yes": True, "no": False}[args.weighted]
         header = edgelist_to_store(
@@ -473,6 +540,101 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"built in {dt:.2f}s ({edges / max(dt, 1e-9):,.0f} edges/s), "
         f"peak RSS {peak_rss_bytes() / (1 << 20):.1f} MiB"
     )
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .core import IncrementalSession, InfomapConfig
+    from .graph import (
+        apply_delta_to_store,
+        open_csr_store,
+        read_delta_file,
+        read_edgelist,
+    )
+
+    delta = read_delta_file(args.delta)
+    if args.store:
+        graph = open_csr_store(args.store)
+    else:
+        graph = read_edgelist(args.input)
+
+    membership = np.full(graph.num_vertices, -1, dtype=np.int64)
+    with open(args.partition, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            parts = line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            if len(parts) != 2:
+                print(
+                    f"error: {args.partition}:{lineno}: expected "
+                    f"'vertex<TAB>module', got {line.rstrip()!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            membership[int(parts[0])] = int(parts[1])
+    if (membership < 0).any():
+        print(
+            f"error: {args.partition} does not cover all "
+            f"{graph.num_vertices} vertices",
+            file=sys.stderr,
+        )
+        return 2
+
+    cfg_kwargs: dict = {"seed": args.seed, "backend": args.backend}
+    if args.dirty_hops is not None:
+        cfg_kwargs["warm_dirty_hops"] = args.dirty_hops
+    cfg = InfomapConfig(**cfg_kwargs)
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
+
+    nranks = args.ranks if args.method == "distributed" else 1
+    session = IncrementalSession.from_membership(
+        graph, membership, cfg, nranks=nranks, tracer=tracer
+    )
+    cached_len = session.result.codelength
+    result = session.update(delta)
+    event = session.events[-1]
+
+    print(result.summary())
+    c = delta.counts()
+    print(
+        f"delta: +{c['insert']} -{c['delete']} ~{c['reweight']} edges, "
+        f"dirty region {event['dirty_vertices']} vertices "
+        f"({event['dirty_fraction']:.1%}), "
+        f"L {cached_len:.6f} -> {result.codelength:.6f} bits"
+    )
+
+    if args.store:
+        header = apply_delta_to_store(args.store, delta)
+        print(
+            f"store {args.store} patched in place: "
+            f"{header['num_vertices']} vertices, "
+            f"{header['num_edges']} edges"
+        )
+    if tracer is not None:
+        from .obs import build_manifest, build_run_artifact, write_run_artifact
+
+        manifest = build_manifest(
+            config=cfg,
+            nranks=nranks,
+            copy_mode="frames" if args.method == "distributed" else "none",
+            graph=session.graph,
+            method=args.method,
+        )
+        artifact = build_run_artifact(tracer, result, manifest=manifest)
+        write_run_artifact(args.trace, artifact)
+        print(
+            f"run trace written to {args.trace} "
+            f"({artifact['num_events']} events)"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for v, m in enumerate(result.membership.tolist()):
+                fh.write(f"{v}\t{m}\n")
+        print(f"updated partition written to {args.output}")
     return 0
 
 
@@ -542,6 +704,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_partition(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
+    if args.command == "update":
+        return _cmd_update(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "datasets":

@@ -7,8 +7,14 @@ from .directed import (
     directed_delta,
     sequential_infomap_directed,
 )
-from .distributed import DistributedInfomap, distributed_infomap, external_infomap
+from .distributed import (
+    DistributedInfomap,
+    distributed_infomap,
+    external_infomap,
+    warm_distributed_infomap,
+)
 from .flow import FlowNetwork, pagerank_flow
+from .incremental import IncrementalSession, warm_seed_membership
 from .kernels import (
     BlockAggregates,
     BlockScore,
@@ -56,6 +62,7 @@ __all__ = [
     "sequential_infomap_directed",
     "DistributedInfomap",
     "FlowNetwork",
+    "IncrementalSession",
     "InfomapConfig",
     "LevelRecord",
     "LocalModuleState",
@@ -88,4 +95,6 @@ __all__ = [
     "score_block_stats",
     "score_block_table",
     "sequential_infomap",
+    "warm_distributed_infomap",
+    "warm_seed_membership",
 ]

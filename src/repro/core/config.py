@@ -124,6 +124,19 @@ class InfomapConfig:
             only trades memory/locality against vectorization; ``0``
             disables batching entirely (the legacy one-vertex-at-a-time
             path, kept for ablations and equivalence tests).
+        warm_dirty_hops: incremental warm starts
+            (:mod:`repro.core.incremental`) re-seed every vertex within
+            this many hops of a delta's endpoints as a singleton and
+            initialize the active sweep set to that dirty frontier.
+            1 hop (default) covers every vertex whose map-equation
+            neighbourhood term a delta can change; raise it to widen
+            the re-optimized region (more work, potentially better
+            quality on aggressive deltas).
+        warm_reseed_singletons: when True (default) the dirty-frontier
+            vertices re-enter the warm solve as singletons, letting
+            them re-choose a module from scratch; False keeps their
+            cached module assignment and merely marks them active — a
+            cheaper but more conservative repair, kept as an ablation.
         ooc_chunk_entries: adjacency entries read per chunk when an
             out-of-core rank streams its shard from a CSR store
             (:func:`repro.partition.shard.load_shard`).  Bounds the
@@ -167,6 +180,8 @@ class InfomapConfig:
     max_rounds: int = 60
     batch_size: int = 256
     backend: str = "threads"
+    warm_dirty_hops: int = 1
+    warm_reseed_singletons: bool = True
     ooc_chunk_entries: int = 1 << 20
     tracer: Any = field(default=None, compare=False, repr=False)
 
@@ -200,6 +215,10 @@ class InfomapConfig:
             raise ValueError(
                 f"batch_size must be >= 0 (0 = scalar path), "
                 f"got {self.batch_size}"
+            )
+        if self.warm_dirty_hops < 0:
+            raise ValueError(
+                f"warm_dirty_hops must be >= 0, got {self.warm_dirty_hops}"
             )
         if self.ooc_chunk_entries < 1:
             raise ValueError(

@@ -68,7 +68,12 @@ from .timing import (
     PhaseTimer,
 )
 
-__all__ = ["DistributedInfomap", "distributed_infomap", "external_infomap"]
+__all__ = [
+    "DistributedInfomap",
+    "distributed_infomap",
+    "external_infomap",
+    "warm_distributed_infomap",
+]
 
 log = get_logger("core.distributed")
 
@@ -592,6 +597,8 @@ def _cluster_rounds(
     *,
     with_delegates: bool,
     id_space: int,
+    seed_membership: "np.ndarray | None" = None,
+    active_seed: "np.ndarray | None" = None,
 ) -> tuple[LocalModuleState, Contribution, list[float], int, int]:
     """Algorithm 2 lines 2–7 (or 10–14 when ``with_delegates=False``).
 
@@ -599,6 +606,16 @@ def _cluster_rounds(
         id_space: exclusive upper bound on module ids at this level
             (vertex-id namespace size), used to pack (hub, module)
             pairs into scalar keys for the vectorized delegate path.
+        seed_membership: optional warm-start membership, ``int64`` over
+            the *global* id space; every local slot (owned, hub, ghost)
+            is seeded as ``seed_membership[global_of]`` instead of
+            singletons, and the module table is initialized by one full
+            boundary swap (the singleton ghost estimate the cold init
+            relies on does not hold for a seeded partition).
+        active_seed: optional ``bool`` mask over the global id space;
+            the first round's Find-Best set becomes the owned slice of
+            it instead of all-ones.  Requires ``cfg.prune_inactive`` to
+            keep contracting afterwards.
 
     Returns ``(state, final_contribution, codelength_history, rounds,
     total_moves, final_lg, rebalance_events)``.  ``final_lg`` is the
@@ -608,6 +625,10 @@ def _cluster_rounds(
     """
     buf = comm.trace
     state = LocalModuleState(lg)
+    if seed_membership is not None:
+        state.module_of = np.asarray(seed_membership, dtype=np.int64)[
+            lg.global_of
+        ]
     C = _build_level_caches(lg, state, comm.size)
 
     # Per-peer caches of (hub*id_space + module) keys and flows — each
@@ -623,11 +644,28 @@ def _cluster_rounds(
         own = state.contribution()
         state.rebuild_table(own, [])
         timer.add_work(PHASE_OTHER, lg.num_entries)
+    if seed_membership is not None and comm.size > 1:
+        # Warm start: the cold init's ghost-singleton table estimate is
+        # only exact when everyone starts as a singleton.  One full
+        # swap replaces the estimates with each owner's true module
+        # aggregates before any move is scored.  ``prepare_swap`` does
+        # not touch the delta-swap caches, so the subsequent rounds'
+        # delta protocol is unaffected.
+        with timer.phase(PHASE_SWAP_BOUNDARY):
+            batches = state.prepare_swap(own, set())
+            recv0 = comm.exchange(batches)
+        with timer.phase(PHASE_OTHER):
+            state.rebuild_table(own, list(recv0.values()))
     state.sum_exit_global = float(comm.allreduce(own.total_exit()))
     history = [_exact_codelength(comm, own, node_term, timer)]
 
     order = np.arange(lg.num_owned)
-    active = np.ones(lg.num_owned, dtype=bool)
+    if active_seed is not None:
+        active = np.asarray(active_seed, dtype=bool)[
+            lg.global_of[: lg.num_owned]
+        ].copy()
+    else:
+        active = np.ones(lg.num_owned, dtype=bool)
     use_batch = cfg.batch_size > 0 and cfg.move_rule == "map_equation"
     # Scratch module-touched flags for the batched sweep, allocated
     # once per level (cleared by the sweep itself).
@@ -1111,6 +1149,32 @@ def _rank_program(
     return _rank_body(comm, views[comm.rank], cfg, n0)
 
 
+def _rank_program_warm(
+    comm: Communicator,
+    views: list[LocalGraph],
+    cfg: InfomapConfig,
+    n0: int,
+    seed_membership: np.ndarray,
+    active_seed: "np.ndarray | None",
+) -> dict[str, Any]:
+    """Warm-start rank program: seeded membership + dirty active set.
+
+    Identical to :func:`_rank_program` except that stage 1 starts from
+    the cached (relabeled) membership instead of all-singletons and, when
+    an *active_seed* mask is given, only the dirty frontier is swept in
+    round 1 — the O(changed region) property the incremental benchmark
+    guards.
+    """
+    return _rank_body(
+        comm,
+        views[comm.rank],
+        cfg,
+        n0,
+        seed_membership=seed_membership,
+        active_seed=active_seed,
+    )
+
+
 def _rank_program_shard(
     comm: Communicator,
     store_dir: str,
@@ -1154,6 +1218,8 @@ def _rank_body(
     lg: LocalGraph,
     cfg: InfomapConfig,
     n0: int,
+    seed_membership: "np.ndarray | None" = None,
+    active_seed: "np.ndarray | None" = None,
 ) -> dict[str, Any]:
     rank = comm.rank
     p = comm.size
@@ -1182,7 +1248,8 @@ def _rank_body(
     with buf.span("stage1"):
         state, own, hist1, rounds1, moves1, lg, reb1 = _cluster_rounds(
             comm, lg, cfg, timer, node_term, rng, with_delegates=True,
-            id_space=n0,
+            id_space=n0, seed_membership=seed_membership,
+            active_seed=active_seed,
         )
     codelength_history.extend(hist1)
     rebalance_events: list[dict[str, Any]] = [
@@ -1234,7 +1301,17 @@ def _rank_body(
     converged = moves1 == 0
     final_codelength = l_prev
 
-    for level in range(1, cfg.max_levels):
+    # A warm start whose dirty-region sweep committed nothing has
+    # verified the seeded partition is still locally optimal, and the
+    # cached solve already converged at every coarse level — skip
+    # stage 2 entirely (this is the no-op invariant: empty delta ends
+    # after one zero-move round at the seeded codelength).  moves1 is
+    # allreduced, so every rank takes the same branch.
+    max_levels = (
+        1 if (seed_membership is not None and moves1 == 0)
+        else cfg.max_levels
+    )
+    for level in range(1, max_levels):
         cn = net.graph.num_vertices
         buf.set_context(level=level)
         with timer.phase(PHASE_OTHER):
@@ -1399,6 +1476,78 @@ def distributed_infomap(
         nranks,
         machine,
         head_extras={"d_high": dpart.d_high, "num_hubs": dpart.num_hubs},
+    )
+
+
+def warm_distributed_infomap(
+    graph: Graph,
+    nranks: int,
+    config: InfomapConfig | None = None,
+    *,
+    seed_membership: np.ndarray,
+    active: "np.ndarray | None" = None,
+    views: "list[LocalGraph] | None" = None,
+    machine: MachineModel | None = None,
+    copy_mode: str = "frames",
+    timeout: float = 600.0,
+    tracer: Any = None,
+    backend: str | None = None,
+) -> ClusteringResult:
+    """Distributed re-solve warm-started from a cached partition.
+
+    *seed_membership* (length ``graph.num_vertices``, global id space)
+    replaces the all-singletons stage-1 init; *active*, when given, is a
+    boolean mask restricting the first sweep to the delta's dirty
+    frontier — untouched vertices are only revisited if a neighbour or
+    their module changes, so a converged region costs nothing.
+
+    Partitioning is plain 1D round-robin with no delegates: a warm start
+    exists to avoid O(graph) work, and the delegate planner is itself an
+    O(graph) pass.  Pass pre-repaired *views* (see
+    :func:`repro.partition.repair.repair_local_views`) to skip even the
+    view build; they must be 1D round-robin views of *graph* for
+    *nranks* ranks.
+    """
+    cfg = config or InfomapConfig()
+    tr = tracer if tracer is not None else cfg.tracer
+    bk = backend if backend is not None else cfg.backend
+    if graph.num_edges == 0:
+        raise ValueError("cannot cluster a graph with no edges")
+    n = graph.num_vertices
+    seed = np.asarray(seed_membership, dtype=np.int64)
+    if seed.shape != (n,):
+        raise ValueError(
+            f"seed_membership must have shape ({n},), got {seed.shape}"
+        )
+    act = None
+    if active is not None:
+        act = np.asarray(active, dtype=bool)
+        if act.shape != (n,):
+            raise ValueError(
+                f"active must have shape ({n},), got {act.shape}"
+            )
+
+    if views is None:
+        network = FlowNetwork.from_graph(graph)
+        part = OneDPartition.round_robin(n, nranks)
+        views = local_views_1d(network, part)
+
+    ship_cfg = cfg.with_(tracer=None) if cfg.tracer is not None else cfg
+    res = run_spmd(
+        _rank_program_warm,
+        nranks,
+        fn_args=(views, ship_cfg, n, seed, act),
+        copy_mode=copy_mode,
+        timeout=timeout,
+        tracer=tr,
+        backend=bk,
+    )
+    return _assemble_result(
+        res,
+        n,
+        nranks,
+        machine,
+        head_extras={"d_high": None, "num_hubs": 0, "warm_start": True},
     )
 
 

@@ -1,0 +1,292 @@
+"""Incremental Infomap: delta ingestion + warm-start re-solve.
+
+A dynamic graph arrives as a base snapshot plus a stream of edge
+batches.  Re-clustering each snapshot from scratch costs O(graph) per
+batch; this module makes each batch cost O(changed region) instead:
+
+1. **Patch** — :func:`repro.graph.apply_delta` splices the batch into
+   the CSR (touched rows only; untouched entry bytes are preserved).
+2. **Dirty frontier** — every vertex within ``config.warm_dirty_hops``
+   hops of a delta endpoint (:func:`repro.graph.dirty_region`).  One hop
+   covers every vertex whose map-equation neighbourhood term the delta
+   can change.
+3. **Warm seed** — the cached converged membership, relabeled into
+   vertex-id space (each module takes its minimum clean member's id) so
+   dirty vertices can re-enter as singletons without label collisions
+   (:func:`warm_seed_membership`).
+4. **Warm re-solve** — the solvers start from the seeded partition with
+   the active sweep set initialized to the dirty frontier; converged
+   regions are only revisited when a neighbour or module changes, so
+   the per-batch edge-scan work tracks the delta size, not the graph
+   (the property ``benchmarks/test_incremental_speedup.py`` guards with
+   work counters).  Distributed sessions keep their per-rank views
+   alive across batches and splice them in place
+   (:func:`repro.partition.repair.repair_local_views`).
+
+Quality is anchored by a full-re-solve oracle: the incremental
+codelength must match a cold solve of the post-delta graph to 1e-9
+relative (``tests/test_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..graph.delta import GraphDelta, apply_delta, dirty_region
+from ..graph.graph import Graph
+from .config import InfomapConfig
+from .distributed import distributed_infomap, warm_distributed_infomap
+from .flow import FlowNetwork
+from .result import ClusteringResult
+from .sequential import sequential_infomap
+
+__all__ = ["IncrementalSession", "warm_seed_membership"]
+
+
+def warm_seed_membership(
+    cached: np.ndarray,
+    dirty: np.ndarray,
+    *,
+    reseed_singletons: bool = True,
+) -> np.ndarray:
+    """Seed membership for a warm start, in vertex-id label space.
+
+    Solver module labels must live in ``[0, n)`` and a dirty vertex
+    re-entering as a singleton needs a label no surviving module uses.
+    Vertex-id space gives both for free: each cached module is relabeled
+    to the minimum vertex id among its *clean* members (clean vertices
+    cannot collide with dirty singletons, which take their own ids).
+
+    With ``reseed_singletons=False`` (the conservative ablation) dirty
+    vertices keep their cached module — each module then takes its
+    minimum member's id over *all* members.
+    """
+    cached = np.asarray(cached, dtype=np.int64)
+    dirty = np.asarray(dirty, dtype=bool)
+    n = cached.size
+    if dirty.shape != (n,):
+        raise ValueError(
+            f"dirty mask shape {dirty.shape} does not match {n} vertices"
+        )
+    if n == 0:
+        return cached.copy()
+    k = int(cached.max()) + 1
+    ids = np.arange(n, dtype=np.int64)
+    rep = np.full(k, n, dtype=np.int64)
+    if reseed_singletons:
+        clean = np.flatnonzero(~dirty)
+        np.minimum.at(rep, cached[clean], clean)
+        return np.where(dirty, ids, rep[cached])
+    np.minimum.at(rep, cached, ids)
+    return rep[cached]
+
+
+class IncrementalSession:
+    """A resident clustering that absorbs :class:`GraphDelta` batches.
+
+    Example::
+
+        session = IncrementalSession(graph, config)
+        session.solve()                  # cold baseline
+        for batch in stream:
+            result = session.update(batch)   # O(changed region)
+
+    Args:
+        graph: the base snapshot.
+        config: solver knobs; ``warm_dirty_hops`` and
+            ``warm_reseed_singletons`` control the warm start.
+        nranks: 1 (default) runs the sequential solver; more ranks run
+            the distributed solver, whose per-rank views persist across
+            batches and are spliced in place per delta.
+        backend: SPMD backend override for distributed sessions.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; each batch
+            emits a ``delta`` instant (rank 0) that
+            :func:`repro.obs.export.delta_rows` and the CLI ``inspect``
+            deltas table render.
+
+    Attributes:
+        graph: the current (post-delta) snapshot.
+        result: the current :class:`ClusteringResult`.
+        events: one dict per absorbed batch — delta counts, dirty-region
+            size, repair stats, solver work counters, phase seconds.
+
+    Vertex growth is not incremental: a delta referencing ids beyond
+    the current graph raises — grow via a new session / cold solve.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: InfomapConfig | None = None,
+        *,
+        nranks: int = 1,
+        backend: str | None = None,
+        tracer: Any = None,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.graph = graph
+        self.config = config or InfomapConfig()
+        self.nranks = nranks
+        self.backend = backend
+        self.tracer = tracer
+        self.result: ClusteringResult | None = None
+        self.events: list[dict[str, Any]] = []
+        self.num_updates = 0
+        self._part: Any = None
+        self._views: Any = None
+
+    @classmethod
+    def from_membership(
+        cls,
+        graph: Graph,
+        membership: np.ndarray,
+        config: InfomapConfig | None = None,
+        **kwargs: Any,
+    ) -> "IncrementalSession":
+        """Resume a session from a previously emitted partition.
+
+        The CLI ``update`` subcommand's entry point: instead of a cold
+        :meth:`solve`, seed the cache with a membership loaded from disk
+        (its codelength is recomputed from the map equation).
+        """
+        from .mapequation import ModuleStats
+
+        memb = np.asarray(membership, dtype=np.int64)
+        if memb.shape != (graph.num_vertices,):
+            raise ValueError(
+                f"membership must have shape ({graph.num_vertices},), "
+                f"got {memb.shape}"
+            )
+        session = cls(graph, config, **kwargs)
+        stats = ModuleStats.from_membership(
+            FlowNetwork.from_graph(graph), memb
+        )
+        session.result = ClusteringResult(
+            membership=memb,
+            codelength=stats.codelength(),
+            levels=[],
+            method="cached",
+            converged=True,
+        )
+        return session
+
+    # -- cold baseline -----------------------------------------------------
+    def solve(self) -> ClusteringResult:
+        """Cold solve of the current snapshot (the warm-start cache)."""
+        if self.nranks == 1:
+            self.result = sequential_infomap(
+                self.graph, self.config, tracer=self.tracer
+            )
+        else:
+            self.result = distributed_infomap(
+                self.graph,
+                self.nranks,
+                self.config,
+                tracer=self.tracer,
+                backend=self.backend,
+            )
+        return self.result
+
+    # -- incremental updates ----------------------------------------------
+    def update(self, delta: GraphDelta) -> ClusteringResult:
+        """Absorb one delta batch and warm re-solve the dirty region."""
+        if self.result is None:
+            raise RuntimeError(
+                "call solve() before update(): warm starts re-seed from "
+                "the cached partition"
+            )
+        cfg = self.config
+        n = self.graph.num_vertices
+        if len(delta) and int(delta.dst.max()) >= n:
+            raise ValueError(
+                "delta references vertices beyond the current graph; "
+                "vertex growth requires a cold solve"
+            )
+
+        t0 = time.perf_counter()
+        patched = apply_delta(self.graph, delta)
+        dirty = dirty_region(patched, delta, hops=cfg.warm_dirty_hops)
+        seed = warm_seed_membership(
+            self.result.membership,
+            dirty,
+            reseed_singletons=cfg.warm_reseed_singletons,
+        )
+        t_apply = time.perf_counter() - t0
+
+        repair_stats: dict[str, Any] | None = None
+        work: dict[str, int] = {}
+        t1 = time.perf_counter()
+        if self.nranks == 1:
+            t_repair = 0.0
+            res = sequential_infomap(
+                patched,
+                cfg,
+                tracer=self.tracer,
+                seed_membership=seed,
+                active=dirty.copy(),
+                work=work,
+            )
+        else:
+            from ..partition.distgraph import local_views_1d
+            from ..partition.oned import OneDPartition
+            from ..partition.repair import repair_local_views
+
+            net = FlowNetwork.from_graph(patched)
+            if self._views is None:
+                self._part = OneDPartition.round_robin(n, self.nranks)
+                self._views = local_views_1d(net, self._part)
+            else:
+                repair_stats = repair_local_views(
+                    self._views, patched, delta, self._part, network=net
+                )
+            t_repair = time.perf_counter() - t1
+            res = warm_distributed_infomap(
+                patched,
+                self.nranks,
+                cfg,
+                seed_membership=seed,
+                active=dirty.copy(),
+                views=self._views,
+                tracer=self.tracer,
+                backend=self.backend,
+            )
+            work = {
+                "stage1_work_max": res.extras["stage1_work_max"],
+                "total_work_max": res.extras["total_work_max"],
+            }
+        t_solve = time.perf_counter() - t1 - t_repair
+
+        self.graph = patched
+        self.result = res
+        self.num_updates += 1
+        event = {
+            "batch": self.num_updates,
+            "edges": len(delta),
+            **delta.counts(),
+            "dirty_vertices": int(dirty.sum()),
+            "dirty_fraction": float(dirty.mean()) if n else 0.0,
+            "codelength": float(res.codelength),
+            "converged": bool(res.converged),
+            "apply_seconds": t_apply,
+            "repair_seconds": t_repair,
+            "solve_seconds": t_solve,
+            "work": dict(work),
+            "repair": repair_stats,
+        }
+        self.events.append(event)
+        res.extras["delta_event"] = event
+        tr = self.tracer
+        if tr is not None and getattr(tr, "enabled", False):
+            tr.for_rank(0).instant(
+                "delta",
+                args={
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("work", "repair")
+                },
+            )
+        return res

@@ -19,7 +19,7 @@ from typing import Any
 
 import numpy as np
 
-from ..graph.graph import Graph
+from ..graph.graph import Graph, gather_rows
 from ..obs.trace import NULL_BUFFER
 from .config import InfomapConfig
 from .flow import FlowNetwork
@@ -168,6 +168,9 @@ def cluster_level(
     node_term: float | None = None,
     initial_stats: ModuleStats | None = None,
     trace: Any = None,
+    seed_membership: np.ndarray | None = None,
+    active: np.ndarray | None = None,
+    work: "dict[str, int] | None" = None,
 ) -> tuple[np.ndarray, ModuleStats, int, int]:
     """One level of greedy clustering: Lines 7–23 of Algorithm 1.
 
@@ -181,16 +184,35 @@ def cluster_level(
             for *network* (they are **mutated in place**); callers that
             already built them to read the pre-clustering codelength
             pass them here to skip a duplicate O(n+m) recomputation.
+            When *seed_membership* is given, the stats must have been
+            built from that seed, not from singletons.
         trace: optional :class:`~repro.obs.trace.RankTraceBuffer`; each
             sweep lands as a span with its committed-move count.
+        seed_membership: optional warm-start membership (module ids in
+            the ``0..n-1`` id space) replacing the singleton init.
+        active: optional ``bool[n]`` sweep mask — only active vertices
+            are visited.  After each sweep the set contracts to the
+            movers, their stored neighbours, and every member of a
+            module a mover left or joined (the same rule as the
+            distributed ``prune_inactive`` path), so warm re-solves
+            sweep O(changed region), not O(n).  ``None`` keeps the
+            visit-everything behaviour — the cold path is untouched.
+        work: optional counter dict; ``vertices_swept`` and
+            ``edges_scanned`` are accumulated across sweeps (the
+            O(changed region) evidence the incremental benchmark
+            asserts on).
 
     Returns:
         ``(membership, stats, sweeps, total_moves)`` where membership
         uses module ids in ``0..n-1`` (not compacted).
     """
     buf = trace if trace is not None else NULL_BUFFER
-    n = network.graph.num_vertices
-    membership = np.arange(n, dtype=np.int64)
+    graph = network.graph
+    n = graph.num_vertices
+    if seed_membership is not None:
+        membership = np.asarray(seed_membership, dtype=np.int64).copy()
+    else:
+        membership = np.arange(n, dtype=np.int64)
     stats = (
         initial_stats
         if initial_stats is not None
@@ -205,15 +227,26 @@ def cluster_level(
     for sweeps in range(1, config.max_sweeps + 1):
         if config.shuffle:
             rng.shuffle(order)
+        sweep_order = order if active is None else order[active[order]]
+        if work is not None:
+            work["vertices_swept"] = (
+                work.get("vertices_swept", 0) + int(sweep_order.size)
+            )
+            work["edges_scanned"] = work.get("edges_scanned", 0) + int(
+                np.sum(
+                    graph.indptr[sweep_order + 1] - graph.indptr[sweep_order]
+                )
+            )
+        prev = membership.copy() if active is not None else None
         buf.set_context(round=sweeps)
         with buf.span("sweep"):
             if config.batch_size > 0:
                 moved = _sweep_batched(
-                    network, membership, stats, order, config
+                    network, membership, stats, sweep_order, config
                 )
             else:
                 moved = _sweep_scalar(
-                    network, membership, stats, order, config
+                    network, membership, stats, sweep_order, config
                 )
         if buf.enabled:
             buf.instant("sweep_done", args={"moves": int(moved)})
@@ -221,6 +254,14 @@ def cluster_level(
         total_moves += moved
         if moved == 0:
             break
+        if active is not None:
+            changed = np.flatnonzero(membership != prev)
+            changed_mods = np.union1d(prev[changed], membership[changed])
+            active[:] = False
+            active[changed] = True
+            entries, _ = gather_rows(graph.indptr, changed)
+            active[graph.indices[entries]] = True
+            active |= np.isin(membership, changed_mods)
     buf.set_context(round=None)
     return membership, stats, sweeps, total_moves
 
@@ -230,6 +271,9 @@ def sequential_infomap(
     config: InfomapConfig | None = None,
     *,
     tracer: Any = None,
+    seed_membership: np.ndarray | None = None,
+    active: np.ndarray | None = None,
+    work: "dict[str, int] | None" = None,
 ) -> ClusteringResult:
     """Run Algorithm 1 on *graph* and return the flat partition.
 
@@ -239,6 +283,14 @@ def sequential_infomap(
     records a rank-0 timeline: one span per level and sweep plus
     per-level codelength/module-count samples.  Tracing never alters a
     decision, so traced and untraced runs are bitwise-identical.
+
+    Warm starts (:mod:`repro.core.incremental`) pass
+    ``seed_membership`` — an ``int64[n]`` membership in the vertex-id
+    module space — and optionally ``active``, a ``bool[n]`` dirty
+    frontier; both apply to level 0 only (coarse levels always run the
+    normal full sweep on their much smaller graphs).  ``work``
+    accumulates per-sweep visit counters (see :func:`cluster_level`).
+    Omitting all three leaves the cold path byte-identical to before.
     """
     cfg = config or InfomapConfig()
     tr = tracer if tracer is not None else cfg.tracer
@@ -259,11 +311,17 @@ def sequential_infomap(
 
     for level in range(cfg.max_levels):
         n = network.graph.num_vertices
-        # One singleton-stats build per level: read the pre-clustering
+        seed = seed_membership if level == 0 else None
+        level_active = active if level == 0 else None
+        # One initial-stats build per level: read the pre-clustering
         # codelength from it, then hand it to cluster_level (which
         # mutates it) instead of recomputing the same O(n+m) pass.
         initial_stats = ModuleStats.from_membership(
-            network, np.arange(n, dtype=np.int64), node_term=node_term0
+            network,
+            np.asarray(seed, dtype=np.int64)
+            if seed is not None
+            else np.arange(n, dtype=np.int64),
+            node_term=node_term0,
         )
         l_before = initial_stats.codelength()
         if level == 0:
@@ -274,6 +332,7 @@ def sequential_infomap(
             membership, stats, sweeps, moves = cluster_level(
                 network, cfg, rng, node_term=node_term0,
                 initial_stats=initial_stats, trace=buf,
+                seed_membership=seed, active=level_active, work=work,
             )
         l_after = stats.codelength()
 

@@ -25,6 +25,14 @@ from .datasets import (
     dataset_names,
     load_dataset,
 )
+from .delta import (
+    GraphDelta,
+    apply_delta,
+    apply_delta_to_store,
+    dirty_region,
+    read_delta_file,
+    write_delta_file,
+)
 from .digraph import DiGraph, digraph_from_edge_array, digraph_from_edges
 from .components import (
     component_sizes,
@@ -61,6 +69,7 @@ from .extcsr import (
     graph_to_store,
     metis_to_store,
     open_csr_store,
+    snap_to_store,
     store_header,
 )
 from .graph import Graph
@@ -73,6 +82,7 @@ from .io import (
     read_metis,
     read_metis_legacy,
     read_pajek,
+    read_snap,
     write_edgelist,
     write_metis,
     write_pajek,
@@ -89,12 +99,19 @@ __all__ = [
     "DegreeSummary",
     "DiGraph",
     "EdgeChunk",
+    "GraphDelta",
+    "apply_delta",
+    "apply_delta_to_store",
+    "dirty_region",
+    "read_delta_file",
+    "write_delta_file",
     "build_csr_store",
     "edgelist_to_store",
     "graph_to_store",
     "iter_edgelist_chunks",
     "iter_metis_chunks",
     "open_csr_store",
+    "snap_to_store",
     "store_header",
     "read_edgelist_legacy",
     "read_metis_legacy",
@@ -132,6 +149,7 @@ __all__ = [
     "read_edgelist",
     "read_metis",
     "read_pajek",
+    "read_snap",
     "relabel_compact",
     "ring_of_cliques",
     "star",

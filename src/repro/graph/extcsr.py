@@ -56,6 +56,7 @@ __all__ = [
     "store_header",
     "edgelist_to_store",
     "metis_to_store",
+    "snap_to_store",
 ]
 
 HEADER_FILE = "header.json"
@@ -366,6 +367,38 @@ def edgelist_to_store(
     return build_csr_store(
         chunks,
         out_dir,
+        dedup=dedup,
+        keep_self_loops=keep_self_loops,
+        block_entries=block_entries,
+    )
+
+
+def snap_to_store(
+    path: str | Path,
+    out_dir: str | Path,
+    *,
+    weighted: "bool | None" = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    dedup: str = "sum",
+    keep_self_loops: bool = False,
+    block_entries: int = DEFAULT_BLOCK_ENTRIES,
+) -> dict:
+    """Stream a SNAP edge list into a CSR store.
+
+    SNAP downloads are ``#``-commented whitespace edge lists, exactly
+    what :func:`edgelist_to_store` streams already; this alias pins the
+    SNAP comment convention (mirroring
+    :func:`repro.graph.io.read_snap`).  Ids must be compact ``0..n-1``
+    — SNAP files with sparse id spaces go through
+    :func:`repro.graph.io.read_snap` with ``relabel=True`` and then
+    :func:`graph_to_store`.
+    """
+    return edgelist_to_store(
+        path,
+        out_dir,
+        comments="#",
+        weighted=weighted,
+        chunk_bytes=chunk_bytes,
         dedup=dedup,
         keep_self_loops=keep_self_loops,
         block_entries=block_entries,

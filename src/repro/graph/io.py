@@ -39,6 +39,7 @@ __all__ = [
     "iter_metis_chunks",
     "read_edgelist",
     "read_edgelist_legacy",
+    "read_snap",
     "write_edgelist",
     "read_metis",
     "read_metis_legacy",
@@ -304,6 +305,32 @@ def read_edgelist(
         src, dst, original = relabel_compact(src, dst)
         return from_edge_array(src, dst, wts), original
     return from_edge_array(src, dst, wts)
+
+
+def read_snap(
+    path: str | Path,
+    *,
+    weighted: bool | None = None,
+    relabel: bool = False,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Graph | tuple[Graph, np.ndarray]:
+    """Read a SNAP-format edge list (https://snap.stanford.edu/data/).
+
+    SNAP files are exactly what :func:`read_edgelist` already parses —
+    ``#``-prefixed header/comment lines, one ``u<TAB>v`` (or
+    space-separated, optionally ``u v w``) pair per line, ``.gz``
+    transparent — so this is a named alias that pins the SNAP comment
+    convention.  SNAP ids are frequently non-compact; pass
+    ``relabel=True`` to remap them onto ``0..n-1`` and receive the
+    ``original_ids`` array alongside the graph.
+    """
+    return read_edgelist(
+        path,
+        comments="#",
+        weighted=weighted,
+        relabel=relabel,
+        chunk_bytes=chunk_bytes,
+    )
 
 
 def read_edgelist_legacy(

@@ -36,6 +36,7 @@ from .export import (
     build_run_artifact,
     convergence_rows,
     counter_final_values,
+    delta_rows,
     load_run_artifact,
     phase_byte_totals,
     rebalance_rows,
@@ -76,6 +77,7 @@ __all__ = [
     "configure_logging",
     "convergence_rows",
     "counter_final_values",
+    "delta_rows",
     "get_logger",
     "graph_fingerprint",
     "load_run_artifact",

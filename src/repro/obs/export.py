@@ -32,6 +32,7 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "convergence_rows",
+    "delta_rows",
     "rebalance_rows",
     "phase_byte_totals",
     "span_seconds_by_rank",
@@ -112,6 +113,35 @@ def rebalance_rows(events: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
         else:
             row["ranks"] += 1
     return [rows[k] for k in sorted(rows)]
+
+
+def delta_rows(events: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Delta-batch events from ``delta`` instants.
+
+    An :class:`~repro.core.incremental.IncrementalSession` emits one
+    driver-side instant per absorbed batch (rank 0); one row per batch
+    in emission order — the ``inspect`` deltas table.
+    """
+    rows: list[dict[str, Any]] = []
+    for ev in events:
+        if ev.get("kind") != "instant" or ev.get("name") != "delta":
+            continue
+        args = ev.get("args", {})
+        rows.append(
+            {
+                "batch": args.get("batch"),
+                "edges": args.get("edges"),
+                "insert": args.get("insert"),
+                "delete": args.get("delete"),
+                "reweight": args.get("reweight"),
+                "dirty_vertices": args.get("dirty_vertices"),
+                "dirty_fraction": args.get("dirty_fraction"),
+                "codelength": args.get("codelength"),
+                "solve_seconds": args.get("solve_seconds"),
+            }
+        )
+    rows.sort(key=lambda r: (r["batch"] is None, r["batch"]))
+    return rows
 
 
 def phase_byte_totals(

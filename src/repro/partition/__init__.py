@@ -20,6 +20,7 @@ from .oned import (
     entry_balanced_bounds,
     round_robin_owners,
 )
+from .repair import repair_local_views
 from .shard import ShardPlan, load_shard, plan_shards
 
 __all__ = [
@@ -42,5 +43,6 @@ __all__ = [
     "ghost_sets_from_entry_ranks",
     "local_views_1d",
     "local_views_delegate",
+    "repair_local_views",
     "round_robin_owners",
 ]

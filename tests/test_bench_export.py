@@ -112,13 +112,23 @@ def test_merge_bench_reports(tmp_path):
             {"stage": "cluster", "rss_budget_ratio": 0.6},
         ], "host": {"cpus": 8, "peak_rss_bytes": 123456}})
     )
+    (tmp_path / "BENCH_incremental.json").write_text(
+        json.dumps({"rows": [
+            {"batch": 1, "work_speedup": 46.6, "time_speedup": 19.9},
+        ], "host": {"cpus": 8, "platform": "Linux-test"}})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 7
+    assert report["count"] == 8
     assert sorted(report["benchmarks"]) == [
-        "ingest", "obs", "procs", "rebalance", "swap", "sweep", "wire"
+        "incremental", "ingest", "obs", "procs", "rebalance", "swap",
+        "sweep", "wire"
     ]
+    assert (
+        report["benchmarks"]["incremental"]["rows"][0]["work_speedup"]
+        == 46.6
+    )
     assert report["benchmarks"]["ingest"]["rows"][1]["rss_budget_ratio"] \
         == 0.6
     assert report["benchmarks"]["swap"]["rows"][0]["speedup"] == 3.5

@@ -1,0 +1,426 @@
+"""Incremental warm-start re-solve: oracle, no-op invariant, repair.
+
+The contract under test (ISSUE 8):
+
+* **Oracle** — for any delta batch, the warm re-solve's codelength
+  matches a cold solve of the post-delta graph to 1e-9 relative, for
+  both solvers.
+* **No-op invariant** — seeding a solver with its own converged
+  partition and an empty delta terminates after one sweep/round with
+  zero moves and the identical codelength.
+* **O(changed region)** — the warm solve's edge-scan work counters are
+  strictly below the cold solve's (the benchmark guards the 5x floor;
+  here we pin the mechanism).
+* **View repair** — `repair_local_views` leaves every field of every
+  rank view bitwise equal to a fresh `local_views_1d` build on the
+  patched graph, and warm distributed runs are bitwise identical
+  across the threads and procs backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    IncrementalSession,
+    InfomapConfig,
+    distributed_infomap,
+    sequential_infomap,
+    warm_distributed_infomap,
+)
+from repro.core.flow import FlowNetwork
+from repro.core.incremental import warm_seed_membership
+from repro.graph import GraphDelta, apply_delta, dirty_region, planted_partition
+from repro.partition import OneDPartition, local_views_1d, repair_local_views
+from repro.partition.distgraph import local_views_delegate
+from repro.partition.delegates import delegate_partition
+
+
+REL_TOL = 1e-9
+
+
+def _graph(seed=5, communities=8, size=25):
+    return planted_partition(communities, size, 0.3, 0.01, seed=seed).graph
+
+
+def _mixed_delta(graph, rng, n_del=3, n_ins=3, n_rew=2):
+    """A delta with deletes, inserts and reweights drawn from *graph*."""
+    rows = graph._row_of_entry()
+    mask = rows < graph.indices
+    eu, ev = rows[mask], graph.indices[mask]
+    pick = rng.choice(eu.size, n_del + n_rew, replace=False)
+    del_idx, rew_idx = pick[:n_del], pick[n_del:]
+    present = set(zip(eu.tolist(), ev.tolist()))
+    n = graph.num_vertices
+    ins = []
+    while len(ins) < n_ins:
+        a, b = sorted(rng.integers(0, n, 2).tolist())
+        if a != b and (a, b) not in present and (a, b) not in ins:
+            ins.append((a, b))
+    return GraphDelta.build(
+        insert=(
+            np.array([e[0] for e in ins]),
+            np.array([e[1] for e in ins]),
+            np.full(n_ins, 1.5),
+        ),
+        delete=(eu[del_idx], ev[del_idx]),
+        reweight=(eu[rew_idx], ev[rew_idx], np.full(n_rew, 0.5)),
+    )
+
+
+def _rel_err(a, b):
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+def _assert_no_worse(warm_len, cold_len):
+    """Warm quality oracle for accumulated-delta runs.
+
+    Both solves are greedy, so after several batches they can land in
+    *different* local optima — in practice the warm start (which keeps
+    the converged structure outside the dirty region) lands in an
+    equal or better one.  The one-sided bound is the real contract:
+    incremental must never degrade quality relative to a full re-solve.
+    """
+    assert warm_len <= cold_len + REL_TOL * abs(cold_len), (
+        f"warm {warm_len} worse than cold {cold_len}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# warm_seed_membership
+# ---------------------------------------------------------------------------
+
+class TestWarmSeed:
+    def test_clean_modules_keep_grouping(self):
+        cached = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        dirty = np.array([False, False, True, False, False, False])
+        seed = warm_seed_membership(cached, dirty)
+        # Clean co-members stay together; module labels are min clean ids.
+        assert seed[0] == seed[1] == 0
+        assert seed[3] == 3  # module 1's only clean member
+        assert seed[4] == seed[5] == 4
+        assert seed[2] == 2  # dirty singleton keeps its vertex id
+
+    def test_dirty_singletons_do_not_collide(self):
+        cached = np.array([0, 0, 0, 1, 1], dtype=np.int64)
+        dirty = np.array([True, False, False, True, False])
+        seed = warm_seed_membership(cached, dirty)
+        assert seed[0] == 0 and seed[3] == 3
+        assert seed[1] == seed[2] == 1
+        assert seed[4] == 4
+        assert len({seed[0], seed[1], seed[3], seed[4]}) == 4
+
+    def test_keep_cached_modules(self):
+        cached = np.array([0, 1, 0, 1], dtype=np.int64)
+        dirty = np.array([True, True, False, False])
+        seed = warm_seed_membership(cached, dirty, reseed_singletons=False)
+        assert seed[0] == seed[2] == 0
+        assert seed[1] == seed[3] == 1
+
+    def test_labels_in_vertex_id_space(self):
+        rng = np.random.default_rng(0)
+        cached = rng.integers(0, 10, 50).astype(np.int64)
+        dirty = rng.random(50) < 0.3
+        seed = warm_seed_membership(cached, dirty)
+        assert seed.min() >= 0 and seed.max() < 50
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dirty mask"):
+            warm_seed_membership(np.zeros(4, np.int64), np.zeros(3, bool))
+
+
+# ---------------------------------------------------------------------------
+# Sequential warm start
+# ---------------------------------------------------------------------------
+
+class TestSequentialWarm:
+    def test_oracle_mixed_delta(self):
+        g = _graph()
+        cfg = InfomapConfig(seed=11)
+        session = IncrementalSession(g, cfg)
+        session.solve()
+        delta = _mixed_delta(g, np.random.default_rng(0))
+        warm = session.update(delta)
+        cold = sequential_infomap(session.graph, cfg)
+        assert _rel_err(warm.codelength, cold.codelength) < REL_TOL
+
+    def test_oracle_multi_batch(self):
+        g = _graph(seed=7)
+        cfg = InfomapConfig(seed=3)
+        session = IncrementalSession(g, cfg)
+        session.solve()
+        rng = np.random.default_rng(42)
+        for _ in range(4):
+            delta = _mixed_delta(session.graph, rng)
+            warm = session.update(delta)
+            cold = sequential_infomap(session.graph, cfg)
+            _assert_no_worse(warm.codelength, cold.codelength)
+
+    def test_noop_invariant(self):
+        g = _graph()
+        cfg = InfomapConfig(seed=11)
+        session = IncrementalSession(g, cfg)
+        base = session.solve()
+        res = session.update(GraphDelta.empty())
+        assert res.codelength == base.codelength
+        assert res.converged
+        # One level, one sweep, zero moves, zero swept work.
+        assert len(res.levels) == 1
+        assert res.levels[0].sweeps == 1
+        assert res.levels[0].moves == 0
+        ev = session.events[-1]
+        assert ev["work"]["vertices_swept"] == 0
+        assert ev["work"]["edges_scanned"] == 0
+
+    def test_warm_work_below_cold(self):
+        g = _graph()
+        cfg = InfomapConfig(seed=11)
+        session = IncrementalSession(g, cfg)
+        session.solve()
+        delta = _mixed_delta(g, np.random.default_rng(1))
+        session.update(delta)
+        warm_work = session.events[-1]["work"]
+        cold_work: dict = {}
+        sequential_infomap(session.graph, cfg, work=cold_work)
+        assert 0 < warm_work["edges_scanned"] < cold_work["edges_scanned"]
+        assert 0 < warm_work["vertices_swept"] < cold_work["vertices_swept"]
+
+    def test_work_counters_do_not_perturb(self):
+        # The cold path with counters attached is byte-identical to
+        # the cold path without them.
+        g = _graph(seed=2)
+        cfg = InfomapConfig(seed=5)
+        plain = sequential_infomap(g, cfg)
+        counted = sequential_infomap(g, cfg, work={})
+        assert plain.codelength == counted.codelength
+        assert np.array_equal(plain.membership, counted.membership)
+
+    def test_update_before_solve_raises(self):
+        session = IncrementalSession(_graph())
+        with pytest.raises(RuntimeError, match="solve"):
+            session.update(GraphDelta.empty())
+
+    def test_vertex_growth_rejected(self):
+        g = _graph()
+        session = IncrementalSession(g)
+        session.solve()
+        n = g.num_vertices
+        delta = GraphDelta.build(
+            insert=(np.array([0]), np.array([n + 3]), np.array([1.0]))
+        )
+        with pytest.raises(ValueError, match="cold solve"):
+            session.update(delta)
+
+
+# ---------------------------------------------------------------------------
+# Distributed warm start
+# ---------------------------------------------------------------------------
+
+class TestDistributedWarm:
+    def test_oracle_mixed_delta(self):
+        g = _graph()
+        cfg = InfomapConfig(seed=11)
+        session = IncrementalSession(g, cfg, nranks=4)
+        session.solve()
+        delta = _mixed_delta(g, np.random.default_rng(0))
+        warm = session.update(delta)
+        cold = distributed_infomap(session.graph, 4, cfg)
+        assert _rel_err(warm.codelength, cold.codelength) < REL_TOL
+
+    def test_oracle_repaired_views_multi_batch(self):
+        # Batch 2+ exercises repair_local_views (batch 1 builds views).
+        g = _graph(seed=7)
+        cfg = InfomapConfig(seed=3)
+        session = IncrementalSession(g, cfg, nranks=3)
+        session.solve()
+        rng = np.random.default_rng(42)
+        for i in range(3):
+            delta = _mixed_delta(session.graph, rng)
+            warm = session.update(delta)
+            cold = distributed_infomap(session.graph, 3, cfg)
+            _assert_no_worse(warm.codelength, cold.codelength)
+            if i > 0:
+                assert session.events[-1]["repair"] is not None
+
+    def test_noop_invariant(self):
+        g = _graph()
+        cfg = InfomapConfig(seed=11)
+        session = IncrementalSession(g, cfg, nranks=4)
+        base = session.solve()
+        res = session.update(GraphDelta.empty())
+        assert _rel_err(res.codelength, base.codelength) < 1e-12
+        assert res.converged
+        # One stage-1 round finds zero moves and stage 2 is skipped.
+        assert res.extras["stage1_rounds"] == 1
+        assert len(res.levels) == 1
+        assert res.levels[0].moves == 0
+
+    def test_threads_procs_bitwise(self):
+        g = _graph(seed=4, communities=6, size=20)
+        cfg = InfomapConfig(seed=9)
+        cold = distributed_infomap(g, 3, cfg)
+        delta = _mixed_delta(g, np.random.default_rng(8))
+        patched = apply_delta(g, delta)
+        dirty = dirty_region(patched, delta, hops=1)
+        seed = warm_seed_membership(cold.membership, dirty)
+        out = {}
+        for backend in ("threads", "procs"):
+            out[backend] = warm_distributed_infomap(
+                patched, 3, cfg,
+                seed_membership=seed, active=dirty, backend=backend,
+            )
+        assert out["threads"].codelength == out["procs"].codelength
+        assert np.array_equal(
+            out["threads"].membership, out["procs"].membership
+        )
+        assert (
+            out["threads"].extras["codelength_history"]
+            == out["procs"].extras["codelength_history"]
+        )
+
+    def test_warm_work_below_cold(self):
+        g = _graph()
+        cfg = InfomapConfig(seed=11)
+        session = IncrementalSession(g, cfg, nranks=4)
+        session.solve()
+        delta = _mixed_delta(g, np.random.default_rng(1))
+        session.update(delta)
+        warm_work = session.events[-1]["work"]["total_work_max"]
+        cold = distributed_infomap(session.graph, 4, cfg)
+        assert 0 < warm_work < cold.extras["total_work_max"]
+
+    def test_seed_shape_validated(self):
+        g = _graph()
+        with pytest.raises(ValueError, match="seed_membership"):
+            warm_distributed_infomap(
+                g, 2, seed_membership=np.zeros(3, np.int64)
+            )
+
+
+# ---------------------------------------------------------------------------
+# View repair
+# ---------------------------------------------------------------------------
+
+def _assert_views_equal(repaired, fresh):
+    assert len(repaired) == len(fresh)
+    scalar = ("rank", "nranks", "num_owned", "num_hubs", "num_ghosts")
+    arrays = (
+        "global_of", "flow", "exit0", "indptr", "nbr", "nbr_flow",
+        "hub_home", "ghost_owner", "boundary_local", "neighbor_ranks",
+    )
+    for a, b in zip(repaired, fresh):
+        for f in scalar:
+            assert getattr(a, f) == getattr(b, f), f
+        for f in arrays:
+            x, y = getattr(a, f), getattr(b, f)
+            assert x.dtype == y.dtype, f
+            assert x.tobytes() == y.tobytes(), f
+        assert len(a.boundary_ranks) == len(b.boundary_ranks)
+        for x, y in zip(a.boundary_ranks, b.boundary_ranks):
+            assert x.tobytes() == y.tobytes()
+
+
+class TestRepairLocalViews:
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_bitwise_equals_fresh_build(self, nranks):
+        g = _graph(seed=3, communities=5, size=15)
+        n = g.num_vertices
+        part = OneDPartition.round_robin(n, nranks)
+        views = local_views_1d(FlowNetwork.from_graph(g), part)
+        delta = _mixed_delta(g, np.random.default_rng(17), 4, 4, 3)
+        patched = apply_delta(g, delta)
+        net = FlowNetwork.from_graph(patched)
+        repair_local_views(views, patched, delta, part, network=net)
+        _assert_views_equal(views, local_views_1d(net, part))
+
+    def test_repeated_repairs_stay_exact(self):
+        g = _graph(seed=9, communities=4, size=12)
+        n = g.num_vertices
+        part = OneDPartition.round_robin(n, 3)
+        views = local_views_1d(FlowNetwork.from_graph(g), part)
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            delta = _mixed_delta(g, rng, 2, 2, 1)
+            g = apply_delta(g, delta)
+            net = FlowNetwork.from_graph(g)
+            repair_local_views(views, g, delta, part, network=net)
+            _assert_views_equal(views, local_views_1d(net, part))
+
+    def test_reweight_only_refreshes_flows(self):
+        g = _graph(seed=1, communities=4, size=12)
+        part = OneDPartition.round_robin(g.num_vertices, 2)
+        views = local_views_1d(FlowNetwork.from_graph(g), part)
+        delta = _mixed_delta(g, np.random.default_rng(2), 0, 0, 4)
+        patched = apply_delta(g, delta)
+        net = FlowNetwork.from_graph(patched)
+        stats = repair_local_views(views, patched, delta, part, network=net)
+        assert stats["ranks_touched"] == []
+        _assert_views_equal(views, local_views_1d(net, part))
+
+    def test_delegate_views_rejected(self):
+        g = _graph(seed=1, communities=4, size=12)
+        net = FlowNetwork.from_graph(g)
+        dpart = delegate_partition(g, 2, d_high=8)
+        views = local_views_delegate(net, dpart)
+        part = OneDPartition.round_robin(g.num_vertices, 2)
+        if not any(v.num_hubs for v in views):
+            pytest.skip("no hubs at this scale")
+        with pytest.raises(ValueError, match="delegate-free"):
+            repair_local_views(views, g, GraphDelta.empty(), part)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+class TestDeltaObservability:
+    def test_tracer_records_delta_instants(self):
+        from repro.obs import Tracer, delta_rows
+
+        g = _graph(seed=2, communities=4, size=15)
+        tracer = Tracer()
+        session = IncrementalSession(g, InfomapConfig(seed=7), tracer=tracer)
+        session.solve()
+        rng = np.random.default_rng(3)
+        session.update(_mixed_delta(g, rng, 1, 1, 1))
+        session.update(_mixed_delta(session.graph, rng, 1, 1, 1))
+        rows = delta_rows(tracer.merged_events())
+        assert [r["batch"] for r in rows] == [1, 2]
+        assert all(r["insert"] == 1 and r["delete"] == 1 for r in rows)
+        assert all(r["dirty_vertices"] > 0 for r in rows)
+
+    def test_session_events_record_work_and_repair(self):
+        g = _graph(seed=2, communities=4, size=15)
+        session = IncrementalSession(g, InfomapConfig(seed=7))
+        session.solve()
+        session.update(_mixed_delta(g, np.random.default_rng(3)))
+        ev = session.events[-1]
+        assert ev["batch"] == 1
+        assert ev["insert"] == 3 and ev["delete"] == 3
+        assert ev["work"]["edges_scanned"] > 0
+        assert ev["repair"] is None  # sequential: no views to repair
+
+
+# ---------------------------------------------------------------------------
+# CLI-facing session resume
+# ---------------------------------------------------------------------------
+
+class TestFromMembership:
+    def test_seeded_session_matches_solved_session(self):
+        g = _graph(seed=6)
+        cfg = InfomapConfig(seed=13)
+        solved = IncrementalSession(g, cfg)
+        base = solved.solve()
+        resumed = IncrementalSession.from_membership(
+            g, base.membership, cfg
+        )
+        assert _rel_err(resumed.result.codelength, base.codelength) < 1e-12
+        delta = _mixed_delta(g, np.random.default_rng(4))
+        a = solved.update(delta)
+        b = resumed.update(delta)
+        assert a.codelength == b.codelength
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_bad_shape_rejected(self):
+        g = _graph(seed=6)
+        with pytest.raises(ValueError, match="membership"):
+            IncrementalSession.from_membership(g, np.zeros(3, np.int64))
