@@ -7,8 +7,9 @@
 #
 # Tier-1 must pass unchanged.  The bench stage runs every
 # ``--run-bench`` guard (wire throughput, swap cycle, tracing
-# overhead, procs-vs-threads scaling, rebalance skew/quality,
-# out-of-core ingest parse/build/RSS, incremental warm-start
+# overhead, live-telemetry overhead/fidelity, procs-vs-threads
+# scaling, rebalance skew/quality, out-of-core ingest
+# parse/build/RSS, incremental warm-start
 # work/quality) with ``REPRO_BENCH_SMOKE=1`` so
 # the whole gate finishes in a few minutes; the procs guard's
 # backend-equivalence assertions (bitwise memberships, codelength

@@ -15,6 +15,10 @@ Subcommands:
 * ``update``    — incremental re-solve: apply a delta file (edge
   inserts/deletes/reweights) to a clustered graph and warm-start from
   the cached partition, re-optimizing only the changed region.
+* ``status``    — attach to an in-flight run started with ``--live``
+  and print one coherent per-rank progress snapshot (``--prom`` for
+  Prometheus text exposition, ``--gc`` to reap dead runs' segments).
+* ``watch``     — poll a live run's snapshot until it finishes.
 * ``bench``     — regenerate one of the paper's tables/figures.
 * ``datasets``  — list the available Table-1 stand-ins.
 
@@ -31,6 +35,10 @@ Examples::
     repro-infomap cluster --store big.csr --method distributed \\
         --ranks 4 --backend procs --ooc
     repro-infomap cluster --input graph.txt -o part.tsv
+    repro-infomap cluster --dataset dblp --method distributed \\
+        --ranks 8 --backend procs --live     # prints a run id, then:
+    repro-infomap status --latest            # ...from another shell
+    repro-infomap watch <run-id>
     repro-infomap update --input graph.txt --partition part.tsv \\
         --delta day1.delta -o part1.tsv
     repro-infomap partition --dataset uk2005 --ranks 32
@@ -145,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a run-trace artifact to PATH "
              "(sequential/distributed only)",
     )
+    pc.add_argument(
+        "--live", action="store_true",
+        help="publish a live telemetry plane for this run "
+             "(sequential/distributed only); prints a run id early so "
+             "'repro-infomap status <id>' / 'watch' can attach from "
+             "another shell while the solve is in flight",
+    )
 
     pi = sub.add_parser(
         "inspect", help="summarize or convert a run-trace artifact"
@@ -224,6 +239,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="record a run-trace artifact (includes the delta instant)",
     )
+    pu.add_argument(
+        "--live", action="store_true",
+        help="publish a live telemetry plane (see 'cluster --live'); "
+             "the batch counter and codelength update per absorbed delta",
+    )
+
+    ps = sub.add_parser(
+        "status",
+        help="snapshot an in-flight run published with --live",
+    )
+    ps.add_argument(
+        "run_id", nargs="?", default=None,
+        help="run id printed by --live (omitted: list published runs)",
+    )
+    ps.add_argument("--latest", action="store_true",
+                    help="attach to the most recently started run")
+    ps.add_argument(
+        "--prom", action="store_true",
+        help="emit Prometheus text exposition instead of the table",
+    )
+    ps.add_argument(
+        "--gc", action="store_true",
+        help="reap segments/sidecars whose owner process is gone "
+             "(crashed or killed runs cannot unlink their own)",
+    )
+
+    pw = sub.add_parser(
+        "watch", help="poll a live run's snapshot until it finishes"
+    )
+    pw.add_argument("run_id", nargs="?", default=None,
+                    help="run id (default: the most recent run)")
+    pw.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                    help="seconds between snapshots (default: 2)")
+    pw.add_argument("--count", type=int, default=None, metavar="N",
+                    help="stop after N snapshots even if still running")
 
     pb = sub.add_parser("bench", help="regenerate a paper table/figure")
     pb.add_argument(
@@ -253,6 +303,39 @@ def _load_graph(args: argparse.Namespace):
         return data.graph, data.labels
     graph = read_edgelist(args.input)
     return graph, None
+
+
+def _live_start(method: str, nranks: int, command: str):
+    """Create + publish a shared live plane; print its run id early.
+
+    The id line is flushed before the solve starts so a second shell
+    can ``repro-infomap status <id>`` while the run is in flight.
+    """
+    from .obs import LivePlane
+
+    plane = LivePlane(nranks, shared=True)
+    plane.publish(command=command, method=method)
+    print(
+        f"live run id: {plane.run_id}  "
+        f"(attach with: repro-infomap status {plane.run_id})",
+        flush=True,
+    )
+    return plane
+
+
+def _live_finish(plane, ok: bool) -> None:
+    """Stamp terminal status on rows the solver left running.
+
+    The SPMD engine stamps rank statuses itself; the sequential solver
+    (and an aborted run) leaves rows at STATUS_RUNNING, which would
+    read as a live-but-silent rank to any observer still attached.
+    """
+    from .obs.live import STATUS_DONE, STATUS_FAILED, STATUS_RUNNING
+
+    status = STATUS_DONE if ok else STATUS_FAILED
+    for r in range(plane.nranks):
+        if int(plane.for_rank(r).value("status")) == STATUS_RUNNING:
+            plane.mark_status(r, status)
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -298,27 +381,50 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    if args.method == "sequential":
-        result = sequential_infomap(graph, cfg, tracer=tracer)
-    elif args.method == "distributed":
-        if args.ooc:
-            # Partition-then-load: the driver ships only the store path
-            # and shard plan; each rank memmaps its own row range.
-            result = external_infomap(
-                args.store, args.ranks, cfg, tracer=tracer
-            )
+    live_plane = None
+    if args.live:
+        if args.method in ("sequential", "distributed"):
+            nranks_live = args.ranks if args.method == "distributed" else 1
+            live_plane = _live_start(args.method, nranks_live, "cluster")
         else:
-            result = distributed_infomap(
-                graph, args.ranks, cfg, tracer=tracer
+            print(
+                f"warning: --live is not supported for method "
+                f"{args.method!r}; ignoring",
+                file=sys.stderr,
             )
-    elif args.method == "gossipmap":
-        result = gossipmap(graph, args.ranks, cfg)
-    elif args.method == "louvain":
-        result = louvain(graph)
-    elif args.method == "labelprop":
-        result = label_propagation(graph)
-    else:
-        result = relaxmap(graph, args.ranks)
+
+    ok = False
+    try:
+        if args.method == "sequential":
+            result = sequential_infomap(
+                graph, cfg, tracer=tracer, live=live_plane
+            )
+        elif args.method == "distributed":
+            if args.ooc:
+                # Partition-then-load: the driver ships only the store
+                # path and shard plan; each rank memmaps its own rows.
+                result = external_infomap(
+                    args.store, args.ranks, cfg,
+                    tracer=tracer, live=live_plane,
+                )
+            else:
+                result = distributed_infomap(
+                    graph, args.ranks, cfg,
+                    tracer=tracer, live=live_plane,
+                )
+        elif args.method == "gossipmap":
+            result = gossipmap(graph, args.ranks, cfg)
+        elif args.method == "louvain":
+            result = louvain(graph)
+        elif args.method == "labelprop":
+            result = label_propagation(graph)
+        else:
+            result = relaxmap(graph, args.ranks)
+        ok = True
+    finally:
+        if live_plane is not None:
+            _live_finish(live_plane, ok)
+            live_plane.close(unlink=True)
 
     print(result.summary())
     if tracer is not None:
@@ -591,11 +697,21 @@ def _cmd_update(args: argparse.Namespace) -> int:
         tracer = Tracer()
 
     nranks = args.ranks if args.method == "distributed" else 1
+    live_plane = _live_start(args.method, nranks, "update") \
+        if args.live else None
     session = IncrementalSession.from_membership(
-        graph, membership, cfg, nranks=nranks, tracer=tracer
+        graph, membership, cfg, nranks=nranks, tracer=tracer,
+        live=live_plane,
     )
     cached_len = session.result.codelength
-    result = session.update(delta)
+    ok = False
+    try:
+        result = session.update(delta)
+        ok = True
+    finally:
+        if live_plane is not None:
+            _live_finish(live_plane, ok)
+            live_plane.close(unlink=True)
     event = session.events[-1]
 
     print(result.summary())
@@ -636,6 +752,82 @@ def _cmd_update(args: argparse.Namespace) -> int:
                 fh.write(f"{v}\t{m}\n")
         print(f"updated partition written to {args.output}")
     return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .obs.live import LiveSnapshot, gc_stale_runs, list_live_runs
+
+    if args.gc:
+        removed = gc_stale_runs()
+        if removed:
+            print("reaped stale live runs: " + ", ".join(removed))
+        else:
+            print("no stale live runs")
+        if not args.run_id and not args.latest:
+            return 0
+
+    try:
+        if args.run_id:
+            snap = LiveSnapshot.attach(args.run_id)
+        elif args.latest:
+            snap = LiveSnapshot.attach_latest()
+        else:
+            runs = list_live_runs()
+            if not runs:
+                print("no live runs published")
+            import time as _time
+
+            now = _time.time()
+            for meta in runs:
+                age = now - float(meta.get("started", now))
+                print(
+                    f"{meta['run_id']}  nranks={meta.get('nranks', '?')}"
+                    f"  pid={meta.get('pid', '?')}"
+                    f"  age={age:.0f}s"
+                    f"  command={meta.get('command', '?')}"
+                )
+            return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.prom:
+        sys.stdout.write(snap.to_prometheus())
+    else:
+        print(snap.render())
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .obs.live import STATUS_RUNNING, LiveSnapshot
+
+    prev = None
+    run_id = args.run_id
+    ticks = 0
+    while True:
+        try:
+            snap = (LiveSnapshot.attach(run_id) if run_id
+                    else LiveSnapshot.attach_latest())
+        except FileNotFoundError as exc:
+            if prev is None:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            # The run finished and tore its plane down between polls.
+            print("live run ended (plane unpublished)")
+            return 0
+        run_id = snap.run_id  # pin --latest to the first run seen
+        print(snap.render(prev), flush=True)
+        ticks += 1
+        if (snap.field("status") != STATUS_RUNNING).all():
+            print("all ranks reached a terminal status")
+            return 0
+        if args.count is not None and ticks >= args.count:
+            return 0
+        prev = snap
+        print()
+        _time.sleep(args.interval)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -706,6 +898,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_ingest(args)
     if args.command == "update":
         return _cmd_update(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "datasets":

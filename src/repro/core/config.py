@@ -153,6 +153,20 @@ class InfomapConfig:
             change any decision (enforced by
             ``tests/test_obs_trace.py``).  An explicit ``tracer=``
             argument to the solver entry points overrides this field.
+        live: optional :class:`~repro.obs.live.LivePlane` the run
+            publishes in-flight progress into (round, phase, moves,
+            codelength, byte totals, heartbeats) — the mid-run
+            complement of ``tracer``, readable while the solve is
+            still executing (``repro-infomap status``).  Must have one
+            row per rank, and ``shared=True`` for ``backend="procs"``.
+            ``None`` (default) turns the plane off; the solvers then
+            pay one attribute check per would-be update.  Excluded
+            from equality/repr and provenance for the same reason as
+            ``tracer``: the plane is write-only for the solver, so
+            live-on runs are bitwise-identical to live-off (enforced
+            by ``benchmarks/test_live_overhead.py``).  An explicit
+            ``live=`` argument to the solver entry points overrides
+            this field.
     """
 
     threshold: float = 1e-8
@@ -184,6 +198,7 @@ class InfomapConfig:
     warm_reseed_singletons: bool = True
     ooc_chunk_entries: int = 1 << 20
     tracer: Any = field(default=None, compare=False, repr=False)
+    live: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.threshold < 0:

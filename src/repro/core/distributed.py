@@ -624,6 +624,7 @@ def _cluster_rounds(
     the one they passed in.
     """
     buf = comm.trace
+    live = comm.live
     state = LocalModuleState(lg)
     if seed_membership is not None:
         state.module_of = np.asarray(seed_membership, dtype=np.int64)[
@@ -993,6 +994,13 @@ def _cluster_rounds(
 
         total_moves = int(comm.allreduce(local_moves)) + hub_moves
         total_moves_all += total_moves
+        if live.enabled:
+            # Round gauges for in-flight observers.  codelength and
+            # total_moves are allreduced, hence identical on every
+            # rank — the live "moves" counter is therefore the
+            # replicated *global* cumulative count, like codelength.
+            live.update(round=rounds, codelength=float(history[-1]))
+            live.add("moves", total_moves)
         if buf.enabled:
             # One convergence sample per rank per round.  codelength
             # and moves are globally consistent (allreduced) so any
@@ -1244,7 +1252,10 @@ def _rank_body(
     )
 
     # ---- Stage 1: clustering with delegates --------------------------------
+    live = comm.live
     buf.set_context(level=0)
+    if live.enabled:
+        live.update(level=0)
     with buf.span("stage1"):
         state, own, hist1, rounds1, moves1, lg, reb1 = _cluster_rounds(
             comm, lg, cfg, timer, node_term, rng, with_delegates=True,
@@ -1314,6 +1325,8 @@ def _rank_body(
     for level in range(1, max_levels):
         cn = net.graph.num_vertices
         buf.set_context(level=level)
+        if live.enabled:
+            live.update(level=level)
         with timer.phase(PHASE_OTHER):
             # Small coarse graphs concentrate onto fewer ranks (see
             # InfomapConfig.min_vertices_per_rank); idle ranks still
@@ -1414,6 +1427,7 @@ def distributed_infomap(
     copy_mode: str = "frames",
     timeout: float = 600.0,
     tracer: Any = None,
+    live: Any = None,
     backend: str | None = None,
 ) -> ClusteringResult:
     """Run the distributed Infomap algorithm on *nranks* simulated ranks.
@@ -1428,6 +1442,13 @@ def distributed_infomap(
     convergence samples and per-message byte meters on its own
     timeline; tracing never changes any clustering decision.
 
+    With a :class:`~repro.obs.live.LivePlane` (argument or
+    ``config.live``) every rank additionally publishes in-flight
+    progress — level, round, codelength, moves, edge scans, byte
+    totals, heartbeats — into its plane row, readable mid-run by
+    ``repro-infomap status``/``watch``.  The plane is write-only for
+    the solver, so live-on runs stay bitwise-identical to live-off.
+
     *backend* picks the SPMD execution backend (``"threads"``,
     ``"procs"`` or ``"serial"``; ``None`` defers to ``config.backend``).
     Backends are result-equivalent: memberships, codelength
@@ -1435,6 +1456,7 @@ def distributed_infomap(
     """
     cfg = config or InfomapConfig()
     tr = tracer if tracer is not None else cfg.tracer
+    lv = live if live is not None else cfg.live
     bk = backend if backend is not None else cfg.backend
     if graph.num_edges == 0:
         raise ValueError("cannot cluster a graph with no edges")
@@ -1459,7 +1481,10 @@ def distributed_infomap(
     # their trace buffers through the communicator (the engine attaches
     # them), and a Tracer holds a threading.Lock that cannot cross the
     # process-backend boundary.
-    ship_cfg = cfg.with_(tracer=None) if cfg.tracer is not None else cfg
+    ship_cfg = (
+        cfg.with_(tracer=None, live=None)
+        if (cfg.tracer is not None or cfg.live is not None) else cfg
+    )
     res = run_spmd(
         _rank_program,
         nranks,
@@ -1467,6 +1492,7 @@ def distributed_infomap(
         copy_mode=copy_mode,
         timeout=timeout,
         tracer=tr,
+        live=lv,
         backend=bk,
     )
 
@@ -1491,6 +1517,7 @@ def warm_distributed_infomap(
     copy_mode: str = "frames",
     timeout: float = 600.0,
     tracer: Any = None,
+    live: Any = None,
     backend: str | None = None,
 ) -> ClusteringResult:
     """Distributed re-solve warm-started from a cached partition.
@@ -1510,6 +1537,7 @@ def warm_distributed_infomap(
     """
     cfg = config or InfomapConfig()
     tr = tracer if tracer is not None else cfg.tracer
+    lv = live if live is not None else cfg.live
     bk = backend if backend is not None else cfg.backend
     if graph.num_edges == 0:
         raise ValueError("cannot cluster a graph with no edges")
@@ -1532,7 +1560,10 @@ def warm_distributed_infomap(
         part = OneDPartition.round_robin(n, nranks)
         views = local_views_1d(network, part)
 
-    ship_cfg = cfg.with_(tracer=None) if cfg.tracer is not None else cfg
+    ship_cfg = (
+        cfg.with_(tracer=None, live=None)
+        if (cfg.tracer is not None or cfg.live is not None) else cfg
+    )
     res = run_spmd(
         _rank_program_warm,
         nranks,
@@ -1540,6 +1571,7 @@ def warm_distributed_infomap(
         copy_mode=copy_mode,
         timeout=timeout,
         tracer=tr,
+        live=lv,
         backend=bk,
     )
     return _assemble_result(
@@ -1640,6 +1672,7 @@ def external_infomap(
     copy_mode: str = "frames",
     timeout: float = 600.0,
     tracer: Any = None,
+    live: Any = None,
     backend: str | None = None,
 ) -> ClusteringResult:
     """Cluster an on-disk CSR store without loading the graph.
@@ -1666,10 +1699,14 @@ def external_infomap(
 
     cfg = config or InfomapConfig()
     tr = tracer if tracer is not None else cfg.tracer
+    lv = live if live is not None else cfg.live
     bk = backend if backend is not None else cfg.backend
     plan = plan_shards(store_dir, nranks)
 
-    ship_cfg = cfg.with_(tracer=None) if cfg.tracer is not None else cfg
+    ship_cfg = (
+        cfg.with_(tracer=None, live=None)
+        if (cfg.tracer is not None or cfg.live is not None) else cfg
+    )
     res = run_spmd(
         _rank_program_shard,
         nranks,
@@ -1677,6 +1714,7 @@ def external_infomap(
         copy_mode=copy_mode,
         timeout=timeout,
         tracer=tr,
+        live=lv,
         backend=bk,
     )
     return _assemble_result(

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..graph.delta import GraphDelta, apply_delta, dirty_region
 from ..graph.graph import Graph
+from ..obs.live import NULL_LIVE
 from .config import InfomapConfig
 from .distributed import distributed_infomap, warm_distributed_infomap
 from .flow import FlowNetwork
@@ -106,6 +107,12 @@ class IncrementalSession:
             emits a ``delta`` instant (rank 0) that
             :func:`repro.obs.export.delta_rows` and the CLI ``inspect``
             deltas table render.
+        live: optional :class:`~repro.obs.live.LivePlane`; it is passed
+            through to every solve and each absorbed batch additionally
+            bumps the rank-0 ``batches`` live counter and re-publishes
+            the codelength gauge, so ``repro-infomap status`` shows
+            batch progress between solves.  Distributed sessions on the
+            procs backend need a ``shared=True`` plane.
 
     Attributes:
         graph: the current (post-delta) snapshot.
@@ -125,6 +132,7 @@ class IncrementalSession:
         nranks: int = 1,
         backend: str | None = None,
         tracer: Any = None,
+        live: Any = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -133,6 +141,7 @@ class IncrementalSession:
         self.nranks = nranks
         self.backend = backend
         self.tracer = tracer
+        self.live = live
         self.result: ClusteringResult | None = None
         self.events: list[dict[str, Any]] = []
         self.num_updates = 0
@@ -179,7 +188,7 @@ class IncrementalSession:
         """Cold solve of the current snapshot (the warm-start cache)."""
         if self.nranks == 1:
             self.result = sequential_infomap(
-                self.graph, self.config, tracer=self.tracer
+                self.graph, self.config, tracer=self.tracer, live=self.live
             )
         else:
             self.result = distributed_infomap(
@@ -187,6 +196,7 @@ class IncrementalSession:
                 self.nranks,
                 self.config,
                 tracer=self.tracer,
+                live=self.live,
                 backend=self.backend,
             )
         return self.result
@@ -226,6 +236,7 @@ class IncrementalSession:
                 patched,
                 cfg,
                 tracer=self.tracer,
+                live=self.live,
                 seed_membership=seed,
                 active=dirty.copy(),
                 work=work,
@@ -252,6 +263,7 @@ class IncrementalSession:
                 active=dirty.copy(),
                 views=self._views,
                 tracer=self.tracer,
+                live=self.live,
                 backend=self.backend,
             )
             work = {
@@ -279,6 +291,11 @@ class IncrementalSession:
         }
         self.events.append(event)
         res.extras["delta_event"] = event
+        plane = self.live if self.live is not None else cfg.live
+        lv = plane.for_rank(0) if plane is not None else NULL_LIVE
+        if lv.enabled:
+            lv.add("batches", 1)
+            lv.update(codelength=float(res.codelength))
         tr = self.tracer
         if tr is not None and getattr(tr, "enabled", False):
             tr.for_rank(0).instant(

@@ -20,6 +20,7 @@ from typing import Any
 import numpy as np
 
 from ..graph.graph import Graph, gather_rows
+from ..obs.live import NULL_LIVE
 from ..obs.trace import NULL_BUFFER
 from .config import InfomapConfig
 from .flow import FlowNetwork
@@ -171,6 +172,7 @@ def cluster_level(
     seed_membership: np.ndarray | None = None,
     active: np.ndarray | None = None,
     work: "dict[str, int] | None" = None,
+    live: Any = None,
 ) -> tuple[np.ndarray, ModuleStats, int, int]:
     """One level of greedy clustering: Lines 7–23 of Algorithm 1.
 
@@ -201,12 +203,17 @@ def cluster_level(
             ``edges_scanned`` are accumulated across sweeps (the
             O(changed region) evidence the incremental benchmark
             asserts on).
+        live: optional :class:`~repro.obs.live.LiveMetrics` row; each
+            sweep publishes the round gauge and bumps the ``sweeps``,
+            ``moves`` and ``edges_scanned`` live counters.  Like
+            tracing, live publishing never alters a decision.
 
     Returns:
         ``(membership, stats, sweeps, total_moves)`` where membership
         uses module ids in ``0..n-1`` (not compacted).
     """
     buf = trace if trace is not None else NULL_BUFFER
+    lv = live if live is not None else NULL_LIVE
     graph = network.graph
     n = graph.num_vertices
     if seed_membership is not None:
@@ -228,15 +235,22 @@ def cluster_level(
         if config.shuffle:
             rng.shuffle(order)
         sweep_order = order if active is None else order[active[order]]
-        if work is not None:
-            work["vertices_swept"] = (
-                work.get("vertices_swept", 0) + int(sweep_order.size)
-            )
-            work["edges_scanned"] = work.get("edges_scanned", 0) + int(
+        if work is not None or lv.enabled:
+            scanned = int(
                 np.sum(
                     graph.indptr[sweep_order + 1] - graph.indptr[sweep_order]
                 )
             )
+            if work is not None:
+                work["vertices_swept"] = (
+                    work.get("vertices_swept", 0) + int(sweep_order.size)
+                )
+                work["edges_scanned"] = (
+                    work.get("edges_scanned", 0) + scanned
+                )
+            if lv.enabled:
+                lv.update(round=sweeps)
+                lv.add("edges_scanned", scanned)
         prev = membership.copy() if active is not None else None
         buf.set_context(round=sweeps)
         with buf.span("sweep"):
@@ -251,6 +265,8 @@ def cluster_level(
         if buf.enabled:
             buf.instant("sweep_done", args={"moves": int(moved)})
             buf.counter("moves", int(moved))
+        if lv.enabled:
+            lv.add_many(sweeps=1, moves=moved)
         total_moves += moved
         if moved == 0:
             break
@@ -271,6 +287,7 @@ def sequential_infomap(
     config: InfomapConfig | None = None,
     *,
     tracer: Any = None,
+    live: Any = None,
     seed_membership: np.ndarray | None = None,
     active: np.ndarray | None = None,
     work: "dict[str, int] | None" = None,
@@ -284,6 +301,13 @@ def sequential_infomap(
     per-level codelength/module-count samples.  Tracing never alters a
     decision, so traced and untraced runs are bitwise-identical.
 
+    With a live plane (argument or ``config.live``; see
+    :class:`~repro.obs.live.LivePlane`) the run additionally publishes
+    rank-0 progress — level/round gauges, sweep/move/edge counters and
+    the running codelength — so ``repro-infomap status``/``watch`` can
+    observe the solve mid-flight.  Like tracing, live publishing is
+    write-only and never alters a decision.
+
     Warm starts (:mod:`repro.core.incremental`) pass
     ``seed_membership`` — an ``int64[n]`` membership in the vertex-id
     module space — and optionally ``active``, a ``bool[n]`` dirty
@@ -295,6 +319,8 @@ def sequential_infomap(
     cfg = config or InfomapConfig()
     tr = tracer if tracer is not None else cfg.tracer
     buf = tr.for_rank(0) if tr is not None and tr.enabled else NULL_BUFFER
+    plane = live if live is not None else cfg.live
+    lv = plane.for_rank(0) if plane is not None else NULL_LIVE
     rng = np.random.default_rng(cfg.seed)
     network = FlowNetwork.from_graph(graph)
 
@@ -328,11 +354,14 @@ def sequential_infomap(
             final_codelength = l_before
 
         buf.set_context(level=level)
+        if lv.enabled:
+            lv.update(level=level)
         with buf.span("cluster_level"):
             membership, stats, sweeps, moves = cluster_level(
                 network, cfg, rng, node_term=node_term0,
                 initial_stats=initial_stats, trace=buf,
                 seed_membership=seed, active=level_active, work=work,
+                live=lv,
             )
         l_after = stats.codelength()
 
@@ -361,6 +390,8 @@ def sequential_infomap(
                 },
             )
             buf.counter("codelength", float(l_after))
+        if lv.enabled:
+            lv.update(codelength=float(l_after))
 
         if moves == 0 or l_before - l_after < cfg.threshold:
             converged = True

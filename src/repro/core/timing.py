@@ -27,6 +27,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from ..obs.live import NULL_LIVE
 from ..obs.trace import NULL_BUFFER
 from ..simmpi.comm import Communicator
 
@@ -77,15 +78,27 @@ class PhaseTimer:
             :class:`~repro.obs.trace.RankTraceBuffer`; each phase block
             is emitted as a span and each work update as a counter
             sample.  Defaults to the no-op buffer.
+        live: optional per-rank :class:`~repro.obs.live.LiveMetrics`
+            row; phase entries publish the phase id (and a heartbeat)
+            and work updates feed the live ``edges_scanned`` counter.
+            Defaults to ``comm.live`` when a communicator is given,
+            else the no-op row.
     """
 
     def __init__(
-        self, comm: Communicator | None = None, *, trace: Any = None
+        self,
+        comm: Communicator | None = None,
+        *,
+        trace: Any = None,
+        live: Any = None,
     ) -> None:
         self.seconds: dict[str, float] = {}
         self.work: dict[str, float] = {}
         self._comm = comm
         self._trace = trace if trace is not None else NULL_BUFFER
+        if live is None:
+            live = comm.live if comm is not None else NULL_LIVE
+        self._live = live
         self._active: str | None = None
 
     @contextmanager
@@ -101,6 +114,12 @@ class PhaseTimer:
         if self._comm is not None:
             prev_phase = self._comm.stats.phase
             self._comm.set_phase(name)
+        if self._live.enabled:
+            # Phase entry doubles as a heartbeat: a rank stuck inside
+            # one long phase still shows a recent beat from its byte
+            # meters / work updates, while a rank stuck *between*
+            # phases is caught by the watchdog's heartbeat age.
+            self._live.update(phase=name)
         t0 = time.perf_counter()
         try:
             yield
@@ -113,12 +132,16 @@ class PhaseTimer:
                 # this phase exits (e.g. end-of-round collectives) is
                 # not silently charged to it.
                 self._comm.set_phase(prev_phase)
+            if self._live.enabled:
+                self._live.update(phase=prev_phase or "")
             if self._trace.enabled:
                 self._trace.complete(name, t0, t1, phase=name)
 
     def add_work(self, name: str, units: float) -> None:
         """Record *units* of compute work (edge scans) under *name*."""
         self.work[name] = self.work.get(name, 0.0) + units
+        if self._live.enabled:
+            self._live.add("edges_scanned", units)
         if self._trace.enabled:
             self._trace.counter(
                 f"work/{name}", self.work[name], phase=name, cat="work"

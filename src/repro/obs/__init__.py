@@ -52,6 +52,16 @@ from .log import (
     configure_logging,
     get_logger,
 )
+from .live import (
+    LIVE_FIELDS,
+    NULL_LIVE,
+    LiveMetrics,
+    LivePlane,
+    LiveSnapshot,
+    gc_stale_runs,
+    list_live_runs,
+    live_run_dir,
+)
 from .manifest import build_manifest, config_dict, graph_fingerprint
 from .trace import (
     EVENT_KINDS,
@@ -65,8 +75,13 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "DEFAULT_FORMAT",
     "EVENT_KINDS",
+    "LIVE_FIELDS",
     "LOGGER_NAME",
+    "LiveMetrics",
+    "LivePlane",
+    "LiveSnapshot",
     "NULL_BUFFER",
+    "NULL_LIVE",
     "NullTracer",
     "RankContextFilter",
     "RankTraceBuffer",
@@ -78,8 +93,11 @@ __all__ = [
     "convergence_rows",
     "counter_final_values",
     "delta_rows",
+    "gc_stale_runs",
     "get_logger",
     "graph_fingerprint",
+    "list_live_runs",
+    "live_run_dir",
     "load_run_artifact",
     "phase_byte_totals",
     "rebalance_rows",

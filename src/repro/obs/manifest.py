@@ -55,14 +55,14 @@ def config_dict(config: Any) -> dict[str, Any]:
     """A JSON-safe dict of an :class:`~repro.core.config.InfomapConfig`.
 
     Walks dataclass fields directly instead of ``dataclasses.asdict``
-    so the non-serializable ``tracer`` handle is skipped (it describes
-    *how* the run was observed, not *what* ran).
+    so the non-serializable ``tracer`` and ``live`` handles are
+    skipped (they describe *how* the run was observed, not *what* ran).
     """
     if not is_dataclass(config):
         return dict(config)
     out: dict[str, Any] = {}
     for f in fields(config):
-        if f.name == "tracer":
+        if f.name in ("tracer", "live"):
             continue
         out[f.name] = getattr(config, f.name)
     return out

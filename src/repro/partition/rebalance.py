@@ -199,6 +199,12 @@ def _rebalance_step(
         "entries": int(deg_all.sum()),
         "skew": skew,
     }
+    live = comm.live
+    if live.enabled:
+        # The event is collective, so every rank counts it once; the
+        # live "migrations" counter is therefore the replicated number
+        # of migration events, like the solver's moves counter.
+        live.add("migrations", 1)
 
     # -- 4. payload donor -> receiver (sparse fast path) ----------------
     msgs: dict[int, Any] = {}

@@ -22,6 +22,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.live import NULL_LIVE
 from ..obs.trace import NULL_BUFFER
 from .stats import RankStats
 
@@ -116,6 +117,20 @@ class Communicator(ABC):
         """
         buf = self.stats.trace
         return buf if buf is not None else NULL_BUFFER
+
+    @property
+    def live(self) -> Any:
+        """This rank's live-metrics row (simulation-only).
+
+        Returns the :class:`~repro.obs.live.LiveMetrics` view the
+        engine attached when a live plane is on, else the shared no-op
+        :data:`~repro.obs.live.NULL_LIVE` — same disabled-path contract
+        as :attr:`trace`.  In a real-MPI port this is where MPI_T
+        performance variables (or an ``MPI_Win`` passive-target
+        exposure window) would hang; see docs/PORTING.md.
+        """
+        lv = self.stats.live
+        return lv if lv is not None else NULL_LIVE
 
     # -- point to point ----------------------------------------------------
     @abstractmethod

@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs.live import STATUS_DONE, STATUS_FAILED, LiveSnapshot
 from ..obs.log import get_logger
 from .errors import AbortError, DeadlockError
 from .serial import SerialCommunicator
@@ -93,6 +94,39 @@ class _RankOutcome:
     blocked_on: str = field(default="")
 
 
+def _watchdog_report(
+    live: Any,
+    ledger: CommLedger,
+    *,
+    stuck: Sequence[int] = (),
+    outcomes: "Sequence[_RankOutcome] | None" = None,
+) -> list[dict[str, Any]]:
+    """Per-rank progress detail for a :class:`DeadlockError`.
+
+    With a live plane attached the report carries heartbeat ages,
+    phases, levels and rounds straight off the plane; without one it
+    still names each rank's current traffic phase (from the ledger)
+    and its stalled/done/failed verdict — strictly more useful than
+    the old global timeout message either way.
+    """
+    if live is not None:
+        report = LiveSnapshot.from_plane(live).rank_report()
+    else:
+        report = [{"rank": r} for r in range(len(ledger))]
+    stalled = set(stuck)
+    for r, d in enumerate(report):
+        if r in stalled:
+            d["status"] = "stalled"
+        elif outcomes is not None and r < len(outcomes) and outcomes[r].done:
+            out = outcomes[r]
+            d["status"] = (
+                "failed" if out.error is not None
+                else "aborted" if out.aborted else "done"
+            )
+        d.setdefault("phase", ledger.for_rank(r).phase)
+    return report
+
+
 def run_spmd(
     fn: Callable[..., Any],
     nranks: int,
@@ -103,6 +137,7 @@ def run_spmd(
     timeout: float = 300.0,
     op_timeout: float = 60.0,
     tracer: Any = None,
+    live: Any = None,
     backend: str = "threads",
 ) -> SpmdResult:
     """Run ``fn(comm, *fn_args, **fn_kwargs)`` on *nranks* ranks.
@@ -137,6 +172,16 @@ def run_spmd(
             ``comm.trace`` — and the communicator's byte meters emit
             per-message counter events onto the same timeline.  The
             tracer rides back on :attr:`SpmdResult.trace`.
+        live: optional :class:`~repro.obs.live.LivePlane` with
+            ``nranks`` rows.  Each rank's row is attached before the
+            job starts (reachable inside ``fn`` via ``comm.live``);
+            ranks heartbeat into it as they progress and the engine
+            stamps terminal statuses.  The plane also upgrades the
+            timeout watchdog: a :class:`DeadlockError` then names the
+            stalled ranks with per-rank heartbeat ages, phases and
+            rounds (``err.rank_report``).  Must be ``shared=True`` for
+            ``backend="procs"``.  The plane is write-only for the
+            solver, so attaching it cannot change any result.
 
     Returns:
         :class:`SpmdResult` with per-rank return values and the ledger.
@@ -157,12 +202,26 @@ def run_spmd(
         )
     kwargs = fn_kwargs or {}
     tracing = tracer is not None and getattr(tracer, "enabled", False)
+    if live is not None and live.nranks != nranks:
+        raise ValueError(
+            f"live plane has {live.nranks} rows but the job has "
+            f"{nranks} ranks"
+        )
 
     if nranks == 1:
         comm = SerialCommunicator(copy_mode=copy_mode)
         if tracing:
             comm.stats.trace = tracer.for_rank(0)
-        value = fn(comm, *fn_args, **kwargs)
+        if live is not None:
+            comm.stats.live = live.for_rank(0)
+        try:
+            value = fn(comm, *fn_args, **kwargs)
+        except BaseException:
+            if live is not None:
+                live.mark_status(0, STATUS_FAILED)
+            raise
+        if live is not None:
+            live.mark_status(0, STATUS_DONE)
         return SpmdResult(
             results=[value], ledger=comm.ledger,
             trace=tracer if tracing else None,
@@ -172,10 +231,16 @@ def run_spmd(
     if backend == "procs":
         from .procs import run_spmd_procs
 
+        if live is not None and not live.shared:
+            raise ValueError(
+                'backend="procs" needs a shared live plane; construct '
+                "LivePlane(nranks, shared=True)"
+            )
         return run_spmd_procs(
             fn, nranks,
             fn_args=fn_args, fn_kwargs=kwargs, copy_mode=copy_mode,
             timeout=timeout, op_timeout=op_timeout, tracer=tracer,
+            live=live,
         )
 
     log.debug(
@@ -209,6 +274,11 @@ def run_spmd(
             # tracer lock.
             for r in range(nranks):
                 ctx.ledger.for_rank(r).trace = tracer.for_rank(r)
+        if live is not None:
+            # Same pre-start discipline: each rank gets its row view
+            # before it runs, and is that row's only writer after.
+            for r in range(nranks):
+                ctx.ledger.for_rank(r).live = live.for_rank(r)
         for t in threads:
             t.start()
     except BaseException as setup_exc:
@@ -236,9 +306,24 @@ def run_spmd(
     for t in threads:
         t.join(timeout=5.0)
     stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+    if live is not None:
+        # Finished ranks' threads have exited, so the launcher can
+        # safely stamp their terminal status; stalled ranks keep
+        # "running" (their row still belongs to the stuck thread) and
+        # are named by the watchdog report instead.
+        for r, out in enumerate(outcomes):
+            if out.done:
+                live.mark_status(
+                    r,
+                    STATUS_DONE if out.error is None and not out.aborted
+                    else STATUS_FAILED,
+                )
     if stuck:
         err = DeadlockError(
-            f"ranks {stuck} still blocked after {timeout:.1f}s job timeout"
+            f"ranks {stuck} still blocked after {timeout:.1f}s job timeout",
+            rank_report=_watchdog_report(
+                live, ctx.ledger, stuck=stuck, outcomes=outcomes
+            ),
         )
         err.spmd_ledger = ctx.ledger
         raise err
@@ -249,12 +334,22 @@ def run_spmd(
             # inspect what the job did up to the abort, on either
             # backend, through the same attribute.
             out.error.spmd_ledger = ctx.ledger
+            if isinstance(out.error, DeadlockError):
+                # A rank-raised op timeout (recv with no sender) is as
+                # much a deadlock verdict as the engine's own job
+                # timeout: upgrade it with the same per-rank detail.
+                out.error.attach_rank_report(
+                    _watchdog_report(live, ctx.ledger, outcomes=outcomes)
+                )
             raise out.error
     ab = ctx.abort_info()
     if ab is not None:
         failed_rank, cause = ab
         if isinstance(cause, DeadlockError):
             cause.spmd_ledger = ctx.ledger
+            cause.attach_rank_report(
+                _watchdog_report(live, ctx.ledger, outcomes=outcomes)
+            )
             raise cause
         err = AbortError(failed_rank, cause)
         err.spmd_ledger = ctx.ledger

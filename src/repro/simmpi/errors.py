@@ -30,6 +30,34 @@ class InvalidTagError(SimMpiError, ValueError):
         self.tag = tag
 
 
+def format_rank_report(report: "list[dict] | None") -> str:
+    """Render a watchdog rank report as indented message lines.
+
+    Each entry is a per-rank dict with any of ``rank``, ``phase``,
+    ``level``, ``round``, ``heartbeat_age``, ``blocked_on``,
+    ``status`` — whatever the engine could observe (heartbeat ages and
+    rounds require the live plane; phase and blocked-on do not).
+    """
+    lines = []
+    for d in report or []:
+        bits = [f"rank {d.get('rank', '?')}:"]
+        if d.get("status"):
+            bits.append(str(d["status"]))
+        if d.get("phase"):
+            bits.append(f"phase={d['phase']}")
+        if d.get("level"):
+            bits.append(f"level={d['level']}")
+        if d.get("round"):
+            bits.append(f"round={d['round']}")
+        age = d.get("heartbeat_age")
+        if age is not None:
+            bits.append(f"last heartbeat {age:.1f}s ago")
+        if d.get("blocked_on"):
+            bits.append(f"blocked on {d['blocked_on']}")
+        lines.append("  " + " ".join(bits))
+    return "\n".join(lines)
+
+
 class DeadlockError(SimMpiError, RuntimeError):
     """The engine's watchdog decided the SPMD program can no longer progress.
 
@@ -37,7 +65,36 @@ class DeadlockError(SimMpiError, RuntimeError):
     more ranks remain blocked past the configured timeout.  The message
     lists the stuck ranks and what each was blocked on, which is the
     information one would dig out of a stack dump on a real cluster.
+
+    When the engine could observe per-rank progress (always for phase
+    and blocked-on; heartbeat ages and rounds when a live plane is
+    attached — see :mod:`repro.obs.live`), ``rank_report`` carries one
+    dict per rank and the same detail is appended to the message, so a
+    stalled straggler is *named* instead of drowned in a global
+    timeout.
     """
+
+    def __init__(
+        self, message: str, *, rank_report: "list[dict] | None" = None
+    ) -> None:
+        if rank_report:
+            message = message + "\n" + format_rank_report(rank_report)
+        super().__init__(message)
+        self.rank_report = list(rank_report or [])
+
+    def attach_rank_report(self, report: "list[dict] | None") -> None:
+        """Upgrade an already-raised deadlock verdict with per-rank
+        detail (engine post-hoc path: a rank-raised op timeout carries
+        no report until the launcher, which owns the plane, adds one).
+        Appends the rendered report to the message; idempotent-ish —
+        a second call is ignored if a report is already attached."""
+        if self.rank_report or not report:
+            return
+        self.rank_report = list(report)
+        self.args = (
+            str(self.args[0]) + "\n" + format_rank_report(report),
+            *self.args[1:],
+        )
 
 
 class AbortError(SimMpiError, RuntimeError):

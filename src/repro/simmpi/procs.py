@@ -50,11 +50,12 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Sequence
 
+from ..obs.live import STATUS_DONE, STATUS_FAILED
 from ..obs.log import get_logger
 from ..obs.trace import RankTraceBuffer
 from .collectives import CollectiveOpsMixin
 from .comm import ANY_SOURCE, ANY_TAG, Communicator
-from .engine import SpmdResult
+from .engine import SpmdResult, _watchdog_report
 from .errors import AbortError, DeadlockError, InvalidRankError
 from .shm import FLAG_SPILL, SPILL_WAIT, ShmControl, ShmRing, spill_out
 from .stats import CommLedger, RankStats
@@ -110,12 +111,17 @@ class _JobState:
         ctrl: ShmControl,
         copy_mode: str,
         op_timeout: float,
+        live: Any = None,
     ) -> None:
         self.size = size
         self.rings = rings
         self.ctrl = ctrl
         self.copy_mode = copy_mode
         self.op_timeout = op_timeout
+        # A shared LivePlane (or None).  Crosses the boundary by
+        # segment name (LivePlane.__getstate__) under spawn, or by
+        # inheritance under fork; each rank writes only its own row.
+        self.live = live
 
 
 class ProcCommunicator(CollectiveOpsMixin, Communicator):
@@ -406,6 +412,8 @@ def _spmd_proc_main(
         # the process boundary; each rank builds a bare buffer seeded
         # with the parent's epoch and ships (events, cumulative) back.
         comm.stats.trace = RankTraceBuffer(rank, epoch)
+    if state.live is not None:
+        comm.stats.live = state.live.for_rank(rank)
     status = "ok"
     value: Any = None
     err: "tuple[BaseException, str] | None" = None
@@ -417,6 +425,10 @@ def _spmd_proc_main(
         status = "error"
         err = (exc, traceback.format_exc())
         state.ctrl.abort(rank)
+    if comm.stats.live is not None:
+        comm.stats.live.update(
+            status=STATUS_DONE if status == "ok" else STATUS_FAILED
+        )
     buf = comm.stats.trace
     trace_payload = (buf.events, buf._cum) if tracing else None
     # Sample this child's own high-water mark last, so the number
@@ -456,6 +468,7 @@ def run_spmd_procs(
     timeout: float = 300.0,
     op_timeout: float = 60.0,
     tracer: Any = None,
+    live: Any = None,
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     start_method: "str | None" = None,
 ) -> SpmdResult:
@@ -512,7 +525,9 @@ def run_spmd_procs(
     try:
         for _ in range(nranks):
             rings.append(ShmRing(segment_bytes, ctx=mp_ctx))
-        state = _JobState(nranks, rings, ctrl, copy_mode, op_timeout)
+        state = _JobState(
+            nranks, rings, ctrl, copy_mode, op_timeout, live=live
+        )
         for r in range(nranks):
             p = mp_ctx.Process(
                 target=_spmd_proc_main,
@@ -598,11 +613,22 @@ def run_spmd_procs(
 
     # -- verdict (same order as the thread engine) ------------------------
     missing = [r for r in range(nranks) if r not in reports]
+    if live is not None:
+        # Ranks that died without reporting (SIGKILLed, os._exit) can
+        # never stamp their own row; the launcher does it for them so
+        # observers don't watch a dead rank "run" forever.
+        for r in missing:
+            live.mark_status(r, STATUS_FAILED)
     if timed_out or stuck:
         blocked = sorted(set(stuck) | set(missing))
+        report = _watchdog_report(live, ledger, stuck=blocked)
+        for d in report:
+            if d["rank"] in missing:
+                d["status"] = "dead"
         err_out: BaseException = DeadlockError(
             f"ranks {blocked or list(range(nranks))} still blocked after "
-            f"{timeout:.1f}s job timeout"
+            f"{timeout:.1f}s job timeout",
+            rank_report=report,
         )
         err_out.spmd_ledger = ledger
         raise err_out

@@ -121,6 +121,7 @@ class RankStats:
     )
     _phase: str = "default"
     trace: Any = field(default=None, repr=False, compare=False)
+    live: Any = field(default=None, repr=False, compare=False)
 
     def set_phase(self, phase: str) -> None:
         """Attribute subsequent traffic to *phase* (e.g. ``"swap_boundary"``)."""
@@ -137,6 +138,8 @@ class RankStats:
         self.messages_by_phase[self._phase] += 1
         if self.trace is not None:
             self.trace.meter("p2p_bytes_sent", nbytes, phase=self._phase)
+        if self.live is not None:
+            self._live_sent(nbytes)
 
     def record_recv(self, nbytes: int) -> None:
         self.p2p_messages_recv += 1
@@ -152,9 +155,21 @@ class RankStats:
             self.trace.meter(
                 "collective_bytes_in", nbytes_in, phase=self._phase
             )
+        if self.live is not None:
+            self._live_sent(nbytes_in)
 
     def record_barrier(self) -> None:
         self.barrier_calls += 1
+
+    def _live_sent(self, nbytes: int) -> None:
+        """Mirror one sent payload onto the live plane.
+
+        Tracks exactly what :attr:`total_bytes_sent` /
+        :attr:`total_messages` sum (p2p sends + collective
+        contributions), so the last live snapshot reconciles with the
+        final ledger to the byte.
+        """
+        self.live.add_many(bytes_sent=nbytes, messages_sent=1)
 
     def record_logical(self, nbytes: int) -> None:
         """Meter the transport-independent (logical) payload size.

@@ -117,13 +117,19 @@ def test_merge_bench_reports(tmp_path):
             {"batch": 1, "work_speedup": 46.6, "time_speedup": 19.9},
         ], "host": {"cpus": 8, "platform": "Linux-test"}})
     )
+    (tmp_path / "BENCH_live.json").write_text(
+        json.dumps({"rows": [
+            {"variant": "live_off"},
+            {"variant": "live_on", "overhead": 1.02},
+        ], "identical": True, "host": {"cpus": 8, "load_avg": [0.1] * 3}})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 8
+    assert report["count"] == 9
     assert sorted(report["benchmarks"]) == [
-        "incremental", "ingest", "obs", "procs", "rebalance", "swap",
-        "sweep", "wire"
+        "incremental", "ingest", "live", "obs", "procs", "rebalance",
+        "swap", "sweep", "wire"
     ]
     assert (
         report["benchmarks"]["incremental"]["rows"][0]["work_speedup"]
@@ -139,9 +145,11 @@ def test_merge_bench_reports(tmp_path):
         report["benchmarks"]["rebalance"]["rows"][1]["skew_improvement"]
         == 2.3
     )
+    assert report["benchmarks"]["live"]["rows"][1]["overhead"] == 1.02
     # host stamps survive the merge untouched
     assert report["benchmarks"]["procs"]["host"]["platform"] == "Linux-test"
     assert report["benchmarks"]["rebalance"]["host"]["cpus"] == 8
+    assert report["benchmarks"]["live"]["host"]["load_avg"] == [0.1] * 3
     assert json.loads(out.read_text()) == report
 
 

@@ -172,3 +172,99 @@ class TestBenchAndDatasets:
                    "--scale", "0.2"])
         assert rc == 0
         assert "Figure 7" in capsys.readouterr().out
+
+
+class TestLiveStatus:
+    def test_cluster_live_prints_run_id_then_reaps(self, capsys):
+        from repro.obs.live import live_run_dir
+
+        rc = main(["cluster", "--dataset", "dblp", "--scale", "0.05",
+                   "--method", "sequential", "--live"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "live run id:" in out
+        rid = out.split("live run id:")[1].split()[0]
+        # The id line precedes the solve output (printed early so a
+        # second shell can attach mid-run).
+        assert out.index("live run id:") < out.index("sequential:")
+        assert not live_run_dir(rid).exists()  # teardown unlinked
+
+    def test_live_distributed_procs_reaps(self, capsys):
+        from repro.obs.live import live_run_dir
+
+        rc = main(["cluster", "--dataset", "dblp", "--scale", "0.05",
+                   "--method", "distributed", "--ranks", "2",
+                   "--backend", "procs", "--live"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        rid = out.split("live run id:")[1].split()[0]
+        assert not live_run_dir(rid).exists()
+
+    def test_live_ignored_for_baselines(self, capsys):
+        rc = main(["cluster", "--dataset", "dblp", "--scale", "0.05",
+                   "--method", "louvain", "--live"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "--live is not supported" in captured.err
+        assert "live run id:" not in captured.out
+
+    def test_status_lists_renders_and_prom(self, capsys):
+        from repro.obs.live import LivePlane
+
+        plane = LivePlane(2, shared=True, run_id="cli-test-run")
+        try:
+            plane.publish(command="cluster")
+            plane.for_rank(0).update(round=3, moves=10)
+
+            assert main(["status"]) == 0
+            assert "cli-test-run" in capsys.readouterr().out
+
+            assert main(["status", "cli-test-run"]) == 0
+            out = capsys.readouterr().out
+            assert "run cli-test-run" in out and "nranks=2" in out
+
+            assert main(["status", "--latest"]) == 0
+            assert "cli-test-run" in capsys.readouterr().out
+
+            assert main(["status", "--prom", "cli-test-run"]) == 0
+            prom = capsys.readouterr().out
+            assert "# TYPE repro_live_moves counter" in prom
+            assert 'run_id="cli-test-run"' in prom
+        finally:
+            plane.close(unlink=True)
+
+    def test_status_unknown_run(self, capsys):
+        rc = main(["status", "no-such-run-zzz"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_status_gc(self, capsys):
+        assert main(["status", "--gc"]) == 0
+        assert "live runs" in capsys.readouterr().out
+
+    def test_watch_exits_on_terminal_status(self, capsys):
+        from repro.obs.live import STATUS_DONE, LivePlane
+
+        plane = LivePlane(1, shared=True, run_id="cli-watch-run")
+        try:
+            plane.publish()
+            plane.mark_status(0, STATUS_DONE)
+            rc = main(["watch", "cli-watch-run", "--interval", "0.1"])
+            assert rc == 0
+            assert "terminal status" in capsys.readouterr().out
+        finally:
+            plane.close(unlink=True)
+
+    def test_update_live_flag(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edgelist(ring_of_cliques(4, 5).graph, path)
+        part = tmp_path / "part.tsv"
+        assert main(["cluster", "--input", str(path), "-o",
+                     str(part)]) == 0
+        delta = tmp_path / "d.delta"
+        delta.write_text("+ 0 10\n")
+        capsys.readouterr()
+        rc = main(["update", "--input", str(path), "--partition",
+                   str(part), "--delta", str(delta), "--live"])
+        assert rc == 0
+        assert "live run id:" in capsys.readouterr().out

@@ -524,3 +524,60 @@ def test_proc_communicator_repr_and_identity():
     pids = {p for _r, _s, p in res.results}
     assert ranks == [0, 1]
     assert len(pids) == 2 and os.getpid() not in pids
+
+
+# ---------------------------------------------------------------------------
+# live plane hygiene (segment lifecycle across exit paths)
+# ---------------------------------------------------------------------------
+
+def _segment_exists(name: str) -> bool:
+    from repro.obs.live import _attach_segment
+
+    try:
+        seg = _attach_segment(name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+@pytest.mark.parametrize("exit_path", ["normal", "error", "hard_death"])
+def test_live_plane_teardown_unlinks_segment(exit_path):
+    """No leaked shm segments or sidecars on any exit path — including
+    a child killed below Python (os._exit), which the parent reaps and
+    stamps as failed on the plane before teardown."""
+    from repro.obs.live import (
+        STATUS_FAILED, LivePlane, LiveSnapshot, live_run_dir,
+    )
+
+    plane = LivePlane(2, shared=True)
+    rid = plane.publish(command="leak-test")
+    name = plane.segment_name
+
+    def prog(comm):
+        comm.live.update(round=1)
+        comm.barrier()
+        if exit_path == "error" and comm.rank == 1:
+            raise ValueError("deliberate failure on rank 1")
+        if exit_path == "hard_death" and comm.rank == 1:
+            os._exit(21)
+        return comm.rank
+
+    try:
+        if exit_path == "normal":
+            run_spmd(prog, 2, backend="procs", live=plane)
+        else:
+            with pytest.raises(Exception):
+                run_spmd(prog, 2, backend="procs", live=plane,
+                         timeout=20.0, op_timeout=3.0)
+        # The plane outlives the job until its owner closes it: a
+        # status probe still attaches and sees the terminal stamps.
+        snap = LiveSnapshot.attach(rid)
+        assert snap.nranks == 2
+        if exit_path == "hard_death":
+            assert snap.rank(1)["status"] == STATUS_FAILED
+    finally:
+        plane.close(unlink=True)
+    assert not _segment_exists(name)
+    assert not live_run_dir(rid).exists()
+    assert not _no_leaked_children()

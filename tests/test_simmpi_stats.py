@@ -220,3 +220,34 @@ def test_ledger_comm_time_positive_after_traffic():
 
     res = run_spmd(prog, 4)
     assert ledger_comm_time(res.ledger) > 0.0
+
+
+class TestLiveWiring:
+    """The stats layer mirrors sent traffic onto the live plane with
+    the exact semantics of ``total_bytes_sent`` / ``total_messages``,
+    so a final snapshot reconciles with the ledger to the byte."""
+
+    def test_record_send_and_collective_feed_live_row(self):
+        from repro.obs.live import LivePlane
+        from repro.simmpi.stats import RankStats
+
+        plane = LivePlane(1)
+        st = RankStats(rank=0)
+        st.live = plane.for_rank(0)
+        st.record_send(100)
+        st.record_send(50)
+        st.record_collective(30, 70)  # only the contribution counts
+        st.record_recv(999)  # receives are the sender's bytes, not ours
+        row = plane.for_rank(0)
+        assert row.value("bytes_sent") == st.total_bytes_sent == 180
+        assert row.value("messages_sent") == st.total_messages == 3
+
+    def test_comm_live_property_defaults_to_null(self):
+        from repro.obs.live import NULL_LIVE, LivePlane
+        from repro.simmpi import SerialCommunicator
+
+        comm = SerialCommunicator()
+        assert comm.live is NULL_LIVE
+        row = LivePlane(1).for_rank(0)
+        comm.stats.live = row
+        assert comm.live is row
