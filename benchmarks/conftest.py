@@ -23,7 +23,7 @@ def pytest_collection_modifyitems(config, items):
     skip = pytest.mark.skip(reason="needs --run-bench")
     guards = (
         "throughput_guard", "obs_guard", "procs_guard", "rebalance_guard",
-        "ingest_guard", "incremental_guard", "live_guard",
+        "ingest_guard", "incremental_guard", "live_guard", "overlap_guard",
     )
     for item in items:
         if any(g in item.keywords for g in guards):

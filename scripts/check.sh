@@ -10,7 +10,8 @@
 # overhead, live-telemetry overhead/fidelity, procs-vs-threads
 # scaling, rebalance skew/quality, out-of-core ingest
 # parse/build/RSS, incremental warm-start
-# work/quality) with ``REPRO_BENCH_SMOKE=1`` so
+# work/quality, nonblocking-overlap wait/throughput) with
+# ``REPRO_BENCH_SMOKE=1`` so
 # the whole gate finishes in a few minutes; the procs guard's
 # backend-equivalence assertions (bitwise memberships, codelength
 # trajectories, per-phase logical ledger totals) run at full strength

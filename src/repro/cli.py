@@ -457,6 +457,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .bench.report import format_value, render_table
     from .obs import (
+        comm_wait_rows,
         counter_final_values,
         delta_rows,
         load_run_artifact,
@@ -566,6 +567,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "phase": ph,
                 "bytes": slot["bytes"],
                 "messages": slot["messages"],
+                "wait_s": slot.get("wait_seconds", 0.0),
+                "overlap_s": slot.get("overlap_seconds", 0.0),
             }
             for ph, slot in sorted(
                 phase_comm.items(), key=lambda kv: -kv[1]["bytes"]
@@ -573,6 +576,26 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         ]
         print()
         print(render_table(rows, title="communication by phase"))
+
+    # Per-rank request-wait accounting (nonblocking overlap view).
+    wait_rows = artifact.get("comm_wait")
+    if wait_rows is None:
+        wait_rows = comm_wait_rows(events)
+    if any(
+        r.get("wait_seconds", 0.0) or r.get("overlap_seconds", 0.0)
+        for r in wait_rows
+    ):
+        print()
+        print(
+            render_table(
+                wait_rows,
+                title="request waits by rank (blocked vs hidden)",
+                columns=[
+                    "rank", "wait_seconds", "overlap_seconds",
+                    "hidden_fraction",
+                ],
+            )
+        )
 
     # Final counter values (top by magnitude across ranks).
     counters = counter_final_values(events)

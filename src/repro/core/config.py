@@ -124,6 +124,20 @@ class InfomapConfig:
             only trades memory/locality against vectorization; ``0``
             disables batching entirely (the legacy one-vertex-at-a-time
             path, kept for ablations and equivalence tests).
+        overlap: when True (default) the distributed sweep splits each
+            rank's vertices into boundary (ghosted on some peer) and
+            interior sets, commits the boundary first, posts the
+            membership-sync exchange and the round's reductions as
+            nonblocking requests (:mod:`repro.simmpi.requests`), and
+            sweeps the interior while those requests drain — hiding
+            communication latency behind compute.  Both modes issue the
+            identical request sequence; the flag only moves the
+            ``wait()`` from immediately-after-post (blocking oracle) to
+            the point the value is consumed, so memberships, codelength
+            trajectories, and logical comm ledgers are bitwise-identical
+            either way (enforced by ``tests/test_overlap_equivalence``).
+            Seconds truly blocked vs hidden are metered separately as
+            ``comm_wait_seconds`` / ``comm_overlap_seconds``.
         warm_dirty_hops: incremental warm starts
             (:mod:`repro.core.incremental`) re-seed every vertex within
             this many hops of a delta's endpoints as a singleton and
@@ -193,6 +207,7 @@ class InfomapConfig:
     round_threshold_rel: float = 1e-4
     max_rounds: int = 60
     batch_size: int = 256
+    overlap: bool = True
     backend: str = "threads"
     warm_dirty_hops: int = 1
     warm_reseed_singletons: bool = True

@@ -673,6 +673,15 @@ def _cluster_rounds(
     batch_touched = (
         np.zeros(id_space, dtype=bool) if use_batch else None
     )
+    # Owned vertices some peer ghosts: their post-sweep memberships are
+    # exactly the membership-sync payload, so committing them first
+    # lets the sync exchange drain while the interior sweeps (§3.4
+    # overlap).  Interior and hub moves cannot touch
+    # ``module_of[boundary_local]``, so the payload prepared right
+    # after the boundary sub-sweep is bitwise-identical to one prepared
+    # after the full sweep.  Rebuilt after structural migrations.
+    boundary_mask = np.zeros(lg.num_owned, dtype=bool)
+    boundary_mask[lg.boundary_local] = True
     total_moves_all = 0
     rounds = 0
     best_l = history[0]
@@ -693,31 +702,63 @@ def _cluster_rounds(
         work = 0
         moved_local: list[int] = []
         changed_mods: set[int] = set()
+        def _sweep_subset(sub: np.ndarray) -> tuple[int, int]:
+            """Score+commit one sub-sweep; returns ``(moves, work)``."""
+            if use_batch and sub.size >= _BATCH_MIN_ACTIVE:
+                return _batched_local_sweep(
+                    state, cfg, bmods, sub, id_space, batch_touched,
+                    moved_local, changed_mods,
+                )
+            mv = 0
+            wk = 0
+            for li in sub:
+                li = int(li)
+                wk += int(lg.indptr[li + 1] - lg.indptr[li])
+                dec = _evaluate_move(state, li, cfg, bmods)
+                if dec is not None:
+                    state.apply_local_move(
+                        dec.local_idx, dec.target,
+                        p_u=dec.p_u, x_u=dec.x_u,
+                        d_old=dec.d_old, d_new=dec.d_new,
+                    )
+                    mv += 1
+                    moved_local.append(li)
+                    changed_mods.add(dec.current)
+                    changed_mods.add(dec.target)
+            return mv, wk
+
         with timer.phase(PHASE_FIND_BEST):
             bmods = state.boundary_modules() if cfg.min_label else set()
             act = order[active[order]]
             frontier = int(act.size)
-            if use_batch and act.size >= _BATCH_MIN_ACTIVE:
-                local_moves, work = _batched_local_sweep(
-                    state, cfg, bmods, act, id_space, batch_touched,
-                    moved_local, changed_mods,
-                )
+            # Boundary-first split: commit every active ghosted vertex,
+            # so the membership sync can be posted before the interior
+            # (usually much larger) sub-sweep runs.
+            in_bnd = boundary_mask[act]
+            mv, wk = _sweep_subset(act[in_bnd])
+            local_moves += mv
+            work += wk
+        with timer.phase(PHASE_SWAP_BOUNDARY):
+            # -- Swap Boundary Information (post half) --------------------
+            # Posted here, consumed after the delegate consensus at the
+            # legacy sync point.  Both modes issue the identical request
+            # sequence; ``overlap=False`` merely waits immediately,
+            # serving as the blocking equivalence oracle.
+            if cfg.delta_swap:
+                memb = state.prepare_membership_sync_delta()
             else:
-                for li in act:
-                    li = int(li)
-                    work += int(lg.indptr[li + 1] - lg.indptr[li])
-                    dec = _evaluate_move(state, li, cfg, bmods)
-                    if dec is not None:
-                        state.apply_local_move(
-                            dec.local_idx, dec.target,
-                            p_u=dec.p_u, x_u=dec.x_u,
-                            d_old=dec.d_old, d_new=dec.d_new,
-                        )
-                        local_moves += 1
-                        moved_local.append(li)
-                        changed_mods.add(dec.current)
-                        changed_mods.add(dec.target)
+                memb = state.prepare_membership_sync()
+            sync_req = comm.iexchange(memb)
+            if not cfg.overlap:
+                sync_req.wait()
+        with timer.phase(PHASE_FIND_BEST):
+            mv, wk = _sweep_subset(act[~in_bnd])
+            local_moves += mv
+            work += wk
             timer.add_work(PHASE_FIND_BEST, work)
+        moves_req = comm.iallreduce(local_moves)
+        if not cfg.overlap:
+            moves_req.wait()
 
         # -- Broadcast Delegates: consensus moves for hubs -----------------
         hub_moves = 0
@@ -932,13 +973,9 @@ def _cluster_rounds(
                         moved_hubs.append(hi)
                         hub_moves += 1  # identical on every rank
 
-        # -- Swap Boundary Information ---------------------------------------
+        # -- Swap Boundary Information (wait half) -----------------------
         with timer.phase(PHASE_SWAP_BOUNDARY):
-            if cfg.delta_swap:
-                memb = state.prepare_membership_sync_delta()
-            else:
-                memb = state.prepare_membership_sync()
-            recv = comm.exchange(memb)
+            recv = sync_req.wait()
             changed_ghosts = state.apply_membership_sync(
                 list(recv.values()), C.ghost_index
             )
@@ -965,6 +1002,12 @@ def _cluster_rounds(
                     active |= np.isin(
                         state.module_of[: lg.num_owned], cm
                     )
+        # ``own`` is final for the round here (the swaps below fold
+        # *peer* aggregates into the table; they never touch ``own``),
+        # so the exit-total reduction can drain behind the delta swap.
+        exit_req = comm.iallreduce(own.total_exit())
+        if not cfg.overlap:
+            exit_req.wait()
 
         if cfg.full_module_info and cfg.delta_swap:
             with timer.phase(PHASE_SWAP_BOUNDARY):
@@ -989,10 +1032,10 @@ def _cluster_rounds(
         else:
             with timer.phase(PHASE_OTHER):
                 state.rebuild_table(own, [])
-        state.sum_exit_global = float(comm.allreduce(own.total_exit()))
+        state.sum_exit_global = float(exit_req.wait())
         history.append(_exact_codelength(comm, own, node_term, timer))
 
-        total_moves = int(comm.allreduce(local_moves)) + hub_moves
+        total_moves = int(moves_req.wait()) + hub_moves
         total_moves_all += total_moves
         if live.enabled:
             # Round gauges for in-flight observers.  codelength and
@@ -1069,6 +1112,11 @@ def _cluster_rounds(
                     active = outcome.active
                     order = np.arange(lg.num_owned)
                     C = _build_level_caches(lg, state, comm.size)
+                # Bystander ranks keep their objects but the migration
+                # repairs ``boundary_local`` in place — refresh the
+                # mask on every outcome, structural or not.
+                boundary_mask = np.zeros(lg.num_owned, dtype=bool)
+                boundary_mask[lg.boundary_local] = True
     buf.set_context(round=None)
 
     return state, own, history, rounds, total_moves_all, lg, rebalance_events

@@ -34,6 +34,7 @@ written artifact.
 from .export import (
     ARTIFACT_SCHEMA,
     build_run_artifact,
+    comm_wait_rows,
     convergence_rows,
     counter_final_values,
     delta_rows,
@@ -91,6 +92,7 @@ __all__ = [
     "config_dict",
     "configure_logging",
     "convergence_rows",
+    "comm_wait_rows",
     "counter_final_values",
     "delta_rows",
     "gc_stale_runs",

@@ -37,6 +37,7 @@ __all__ = [
     "phase_byte_totals",
     "span_seconds_by_rank",
     "counter_final_values",
+    "comm_wait_rows",
 ]
 
 #: Artifact schema identifier; bump on breaking layout changes.
@@ -46,6 +47,12 @@ ARTIFACT_SCHEMA = "repro-run-trace/1"
 #: :meth:`RankStats.record_send` / :meth:`RankStats.record_collective`);
 #: their per-phase delta sums reconcile with ``CommLedger.bytes_by_phase``.
 _COMM_BYTE_METERS = ("p2p_bytes_sent", "collective_bytes_in")
+
+#: Counter names the request-wait meters emit (see
+#: :meth:`RankStats.record_wait_seconds` /
+#: :meth:`RankStats.record_overlap_seconds`): seconds a rank was truly
+#: blocked in ``Request.wait`` vs request latency hidden behind compute.
+_COMM_TIME_METERS = ("comm_wait_seconds", "comm_overlap_seconds")
 
 
 # ---------------------------------------------------------------------------
@@ -150,7 +157,10 @@ def phase_byte_totals(
     """Per-phase traffic recomputed from the meter events.
 
     Returns ``{phase: {"bytes": int, "messages": int,
-    "bytes_per_rank": {rank: int}}}``.  By construction (every
+    "bytes_per_rank": {rank: int}, "wait_seconds": float,
+    "overlap_seconds": float}}`` — the time fields are the all-rank
+    sums of seconds truly blocked in request waits vs request latency
+    hidden behind compute in that phase.  By construction (every
     ``record_send``/``record_collective`` emits exactly one meter event
     carrying its byte delta) these totals equal the
     :class:`~repro.simmpi.stats.CommLedger` ``bytes_by_phase`` /
@@ -158,13 +168,32 @@ def phase_byte_totals(
     *superset* of the ledger, not a parallel estimate.
     """
     out: dict[str, dict[str, Any]] = {}
+
+    def _slot(phase: str) -> dict[str, Any]:
+        return out.setdefault(
+            phase,
+            {
+                "bytes": 0, "messages": 0, "bytes_per_rank": {},
+                "wait_seconds": 0.0, "overlap_seconds": 0.0,
+            },
+        )
+
     for ev in events:
-        if ev.get("kind") != "counter" or ev.get("name") not in _COMM_BYTE_METERS:
+        if ev.get("kind") != "counter":
+            continue
+        name = ev.get("name")
+        if name in _COMM_TIME_METERS:
+            slot = _slot(ev.get("phase", "default"))
+            key = (
+                "wait_seconds" if name == "comm_wait_seconds"
+                else "overlap_seconds"
+            )
+            slot[key] += float(ev.get("delta", 0.0))
+            continue
+        if name not in _COMM_BYTE_METERS:
             continue
         phase = ev.get("phase", "default")
-        slot = out.setdefault(
-            phase, {"bytes": 0, "messages": 0, "bytes_per_rank": {}}
-        )
+        slot = _slot(phase)
         delta = int(ev.get("delta", 0))
         rank = int(ev["rank"])
         slot["bytes"] += delta
@@ -173,6 +202,42 @@ def phase_byte_totals(
             slot["bytes_per_rank"].get(rank, 0) + delta
         )
     return out
+
+
+def comm_wait_rows(events: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-rank request-wait accounting, one row per rank.
+
+    ``[{"rank", "wait_seconds", "overlap_seconds", "hidden_fraction"}]``
+    sorted by rank — ``hidden_fraction`` is overlap/(wait+overlap), the
+    share of total request latency the sweep hid behind compute (0.0
+    when no requests were waited on).  Fed by the same counter events
+    :func:`phase_byte_totals` folds per phase, so the two views
+    reconcile exactly.
+    """
+    wait: dict[int, float] = {}
+    overlap: dict[int, float] = {}
+    for ev in events:
+        if ev.get("kind") != "counter":
+            continue
+        name = ev.get("name")
+        if name not in _COMM_TIME_METERS:
+            continue
+        acc = wait if name == "comm_wait_seconds" else overlap
+        rank = int(ev["rank"])
+        acc[rank] = acc.get(rank, 0.0) + float(ev.get("delta", 0.0))
+    rows = []
+    for rank in sorted(set(wait) | set(overlap)):
+        w = wait.get(rank, 0.0)
+        o = overlap.get(rank, 0.0)
+        rows.append(
+            {
+                "rank": rank,
+                "wait_seconds": w,
+                "overlap_seconds": o,
+                "hidden_fraction": (o / (w + o)) if (w + o) > 0 else 0.0,
+            }
+        )
+    return rows
 
 
 def span_seconds_by_rank(
@@ -237,6 +302,7 @@ def build_run_artifact(
         "num_events": len(events),
         "convergence": convergence_rows(events),
         "phase_comm": phase_byte_totals(events),
+        "comm_wait": comm_wait_rows(events),
         "events": events,
     }
     if result is not None:

@@ -85,6 +85,8 @@ LIVE_FIELDS = (
     "batches",          # incremental-session batches absorbed
     "migrations",       # rebalance events this rank participated in
     "status",           # STATUS_RUNNING / STATUS_DONE / STATUS_FAILED
+    "wait_seconds",     # ledger seconds truly blocked in request waits
+    "overlap_seconds",  # ledger seconds of comm latency hidden by compute
 )
 
 #: f64 slots per rank row: 1 generation slot + the fields, padded to a
@@ -123,7 +125,7 @@ _STATUS_NAMES = {STATUS_RUNNING: "running", STATUS_DONE: "done",
 #: gauges.
 _COUNTER_FIELDS = frozenset(
     ("sweeps", "moves", "edges_scanned", "bytes_sent", "messages_sent",
-     "batches", "migrations")
+     "batches", "migrations", "wait_seconds", "overlap_seconds")
 )
 
 #: Bounded seqlock retries before a reader gives up and returns the

@@ -36,6 +36,7 @@ from .errors import (
     InvalidTagError,
     SimMpiError,
 )
+from .requests import ExchangeRequest, ReduceRequest, RequestSet
 from .serial import SerialCommunicator
 from .stats import CommLedger, PhaseBytes, RankStats, payload_nbytes
 from .threadcomm import JobContext, Mailbox, ThreadCommunicator
@@ -57,6 +58,7 @@ __all__ = [
     "Communicator",
     "CostAccumulator",
     "DeadlockError",
+    "ExchangeRequest",
     "FrameError",
     "InvalidRankError",
     "InvalidTagError",
@@ -66,7 +68,9 @@ __all__ = [
     "PhaseBytes",
     "ProcCommunicator",
     "RankStats",
+    "ReduceRequest",
     "Request",
+    "RequestSet",
     "SerialCommunicator",
     "SimMpiError",
     "SpmdResult",

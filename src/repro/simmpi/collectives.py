@@ -30,6 +30,12 @@ import numpy as np
 
 from .comm import ANY_SOURCE, ANY_TAG, resolve_op
 from .errors import InvalidRankError, InvalidTagError
+from .requests import (
+    IALLREDUCE_TAG,
+    IEXCHANGE_TAG,
+    ExchangeRequest,
+    ReduceRequest,
+)
 
 __all__ = ["CollectiveOpsMixin", "EXCHANGE_TAG"]
 
@@ -221,3 +227,115 @@ class CollectiveOpsMixin:
             payload, src, _tag = self.recv_status(ANY_SOURCE, EXCHANGE_TAG)
             out[src] = payload
         return {src: out[src] for src in sorted(out)}
+
+    # -- nonblocking collectives -------------------------------------------
+    #
+    # Transport hooks the concrete communicators supply (all unmetered —
+    # metering stays up here so backends agree by construction):
+    #
+    # * ``_nb_post(dest, tag, wire, nbytes)`` — deposit a pre-encoded
+    #   wire in *dest*'s inbox (the buffered isend path);
+    # * ``_nb_wait(source, tag)`` → ``(src, wire, nbytes)`` — block
+    #   until a matching wire arrives (procs: drains the shared-memory
+    #   ring — the progress step; threads: the mailbox condition wait);
+    # * ``_nb_poll(source, tag)`` → ``(src, wire, nbytes) | None`` —
+    #   the nonblocking matching probe behind ``Request.test``.
+    #
+    # Posting order doubles as the tag schedule: every rank must post
+    # its nonblocking collectives in the same order (the usual
+    # collective contract), which keeps the per-communicator sequence
+    # numbers — and therefore the tags — globally consistent without
+    # any extra handshake.
+
+    def _next_nb_seq(self) -> int:
+        seq = getattr(self, "_nb_seq", 0)
+        self._nb_seq = seq + 1
+        return seq
+
+    def iallreduce(self, obj: Any, op: Any = "sum") -> ReduceRequest:
+        """Nonblocking allreduce (mpi4py: ``Iallreduce``).
+
+        Decentralized mesh: encode the contribution once, post the same
+        wire to every peer under a sequence-numbered tag, return an
+        in-flight :class:`~repro.simmpi.requests.ReduceRequest`.
+        Completion (inside ``wait``/``test``) collects the ``size - 1``
+        peer wires and folds them in ascending rank order with this
+        rank's wire at its own index — the blocking board
+        ``allreduce``'s exact fold — and meters one collective call
+        with identical byte accounting (contribution once, peer bytes
+        as received), so blocking and overlapped callers produce the
+        same logical ledger.
+        """
+        self._check_abort()
+        fn = resolve_op(op)
+        tag = IALLREDUCE_TAG + self._next_nb_seq()
+        wire, nbytes = self._encode(obj)
+        for peer in range(self.size):
+            if peer != self.rank:
+                self._nb_post(peer, tag, wire, nbytes)
+        return ReduceRequest(self, tag, fn, wire, nbytes)
+
+    def iexchange(
+        self, msgs: Mapping[int, Any], *, known_counts: "int | None" = None
+    ) -> ExchangeRequest:
+        """Nonblocking sparse exchange (the pipelined *Swap Boundary
+        Information* primitive).
+
+        Payload sends go out immediately (buffered, metered exactly as
+        :meth:`exchange` meters them) under a sequence-numbered tag;
+        the counts handshake rides a nested :meth:`iallreduce` so the
+        caller is never blocked at post time.  ``wait()`` resolves the
+        counts, drains the expected payloads and returns the
+        ascending-source dict :meth:`exchange` returns — byte-for-byte
+        the same ledger, fold order and result, only the *when* of the
+        blocking moved.
+
+        *known_counts* skips the handshake exactly as in
+        :meth:`exchange` (static-neighbourhood fast path; the caller
+        owns round separation).
+        """
+        self._check_abort()
+        self._check_exchange_dests(msgs)
+        tag = IEXCHANGE_TAG + self._next_nb_seq()
+        counts_req: "ReduceRequest | None" = None
+        n_recv: "int | None" = None
+        if known_counts is None:
+            counts = np.zeros(self.size, dtype=np.int64)
+            for dest in msgs:
+                counts[dest] = 1
+            counts_req = self.iallreduce(counts)
+            # The outer request owns wait/overlap attribution; the
+            # nested counts reduce still meters its bytes.
+            counts_req._meter = False
+        else:
+            if known_counts < 0 or known_counts > self.size - 1:
+                raise ValueError(
+                    f"known_counts must be in [0, {self.size - 1}], "
+                    f"got {known_counts}"
+                )
+            n_recv = int(known_counts)
+        for dest in sorted(msgs):
+            self.send(msgs[dest], dest, tag=tag)
+        return ExchangeRequest(self, tag, counts_req, n_recv)
+
+    def try_recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> "tuple[bool, Any]":
+        """Nonblocking probe returning ``(found, (payload, src))``.
+
+        The wildcard-source counterpart of ``try_recv`` the in-flight
+        exchange needs (it must attribute each payload to its sender);
+        implemented on top of the backend's unmetered poll hook plus
+        this rank's metered decode, so a payload received here is
+        indistinguishable — to the ledger — from one received by
+        ``recv_status``.
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        self._check_tag(tag, allow_any=True)
+        got = self._nb_poll(source, tag)
+        if got is None:
+            return False, None
+        src, wire, nbytes = got
+        self._stats.record_recv(nbytes)
+        return True, (self._decode(wire), src)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..obs.live import NULL_LIVE
 from ..obs.trace import NULL_BUFFER
+from .requests import Request, RequestSet
 from .stats import RankStats
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "Communicator",
     "ReduceOp",
     "Request",
+    "RequestSet",
     "resolve_op",
 ]
 
@@ -186,6 +188,33 @@ class Communicator(ABC):
         """
         return Request._pending(self, source, tag)
 
+    # -- nonblocking collectives ----------------------------------------------
+    def iallreduce(self, obj: Any, op: Any = "sum") -> "Request":
+        """Nonblocking allreduce (mpi4py: ``Iallreduce``).
+
+        Base implementation: run the blocking :meth:`allreduce` and
+        return an already-complete request — correct on any
+        communicator (it is exactly what a serial loopback does), with
+        the true in-flight implementation supplied by
+        :class:`~repro.simmpi.collectives.CollectiveOpsMixin`.  Like
+        every collective, the call itself must be made by all ranks in
+        the same order; only completion may be deferred.
+        """
+        return Request._completed(self.allreduce(obj, op=op))
+
+    def iexchange(
+        self, msgs: Mapping[int, Any], *, known_counts: "int | None" = None
+    ) -> "Request":
+        """Nonblocking sparse exchange (MPI: isend per destination plus
+        ``Iallreduce`` of the counts vector).
+
+        Base implementation completes eagerly via :meth:`exchange`; the
+        mixin overrides it with posted sends and a deferred receive
+        loop.  ``wait()`` returns the same ascending-source dict
+        :meth:`exchange` returns.
+        """
+        return Request._completed(self.exchange(msgs, known_counts=known_counts))
+
     # -- collectives --------------------------------------------------------
     @abstractmethod
     def barrier(self) -> None:
@@ -293,70 +322,3 @@ class Communicator(ABC):
         """
         del known_counts  # dense alltoall is self-synchronizing
         return self.exchange_dense(msgs)
-
-
-class Request:
-    """Handle for a nonblocking operation (mpi4py: ``Request``).
-
-    Two flavours exist in this runtime: already-complete send requests
-    (sends are buffered) and pending receive requests, which match a
-    message when :meth:`wait` or :meth:`test` is called.
-    """
-
-    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
-
-    def __init__(self) -> None:  # use the factory classmethods
-        self._comm: "Communicator | None" = None
-        self._source = ANY_SOURCE
-        self._tag = ANY_TAG
-        self._done = True
-        self._value: Any = None
-
-    @classmethod
-    def _completed(cls, value: Any) -> "Request":
-        req = cls()
-        req._done = True
-        req._value = value
-        return req
-
-    @classmethod
-    def _pending(cls, comm: "Communicator", source: int, tag: int) -> "Request":
-        req = cls()
-        req._comm = comm
-        req._source = source
-        req._tag = tag
-        req._done = False
-        return req
-
-    @property
-    def completed(self) -> bool:
-        return self._done
-
-    def wait(self) -> Any:
-        """Block until complete; return the received object (or the
-        sent-request's ``None``).  Idempotent after completion."""
-        if not self._done:
-            assert self._comm is not None
-            self._value = self._comm.recv(source=self._source, tag=self._tag)
-            self._done = True
-        return self._value
-
-    def test(self) -> "tuple[bool, Any]":
-        """Non-blocking completion probe: ``(done, value_or_None)``.
-
-        For a pending receive this attempts a match without blocking
-        (mpi4py: ``Request.test``); if no matching message has arrived
-        yet it returns ``(False, None)`` and the request stays pending.
-        """
-        if self._done:
-            return True, self._value
-        assert self._comm is not None
-        probe = getattr(self._comm, "try_recv", None)
-        if probe is None:  # communicator without nonblocking support
-            return False, None
-        found, value = probe(self._source, self._tag)
-        if found:
-            self._value = value
-            self._done = True
-            return True, value
-        return False, None

@@ -313,6 +313,30 @@ class ProcCommunicator(CollectiveOpsMixin, Communicator):
         self._stats.record_recv(len(data))
         return True, self._decode(data)
 
+    # -- nonblocking transport hooks (unmetered; see CollectiveOpsMixin) ---
+    def _nb_post(self, dest: int, tag: int, wire: bytes, nbytes: int) -> None:
+        """Deposit a pre-encoded wire in *dest*'s ring (spill-safe).
+
+        ``wire`` is the joined frame bytes :meth:`_encode` produced, so
+        one contiguous part lands in the ring; oversized wires take the
+        spill path inside :meth:`_put`, preserving buffered-post
+        semantics.  Unmetered — the mixin owns the accounting.
+        """
+        self._put(dest, tag, [wire], nbytes)
+
+    def _nb_wait(self, source: int, tag: int) -> tuple[int, bytes, int]:
+        data, src, _tg = self._wait_match(source, tag)
+        return src, data, len(data)
+
+    def _nb_poll(self, source: int, tag: int) -> "tuple[int, bytes, int] | None":
+        self._check_abort()
+        self._drain_ready()
+        key = self._match(source, tag)
+        if key is None:
+            return None
+        data = self._pop(key)
+        return key[0], data, len(data)
+
     # -- collective plumbing ----------------------------------------------
     def _control_send(self, dest: int, tag: int, obj: Any) -> None:
         """Unmetered frame-encoded relay message (collective transport)."""

@@ -119,6 +119,12 @@ class RankStats:
     decode_seconds_by_phase: dict[str, float] = field(
         default_factory=lambda: defaultdict(float)
     )
+    wait_seconds_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    overlap_seconds_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
     _phase: str = "default"
     trace: Any = field(default=None, repr=False, compare=False)
     live: Any = field(default=None, repr=False, compare=False)
@@ -188,6 +194,33 @@ class RankStats:
     def record_decode_seconds(self, seconds: float) -> None:
         self.decode_seconds_by_phase[self._phase] += seconds
 
+    def record_wait_seconds(self, seconds: float) -> None:
+        """Meter time truly blocked inside a request ``wait``/``waitall``.
+
+        Together with :meth:`record_overlap_seconds` this splits each
+        nonblocking operation's latency into the part that cost wall
+        clock (blocked) and the part hidden behind compute (in flight
+        between post and wait) — the number the overlap benchmark
+        guards.  Blocking callers wait at the post site, so their whole
+        latency lands here.
+        """
+        self.wait_seconds_by_phase[self._phase] += seconds
+        if self.trace is not None:
+            self.trace.meter("comm_wait_seconds", seconds, phase=self._phase)
+        if self.live is not None:
+            self.live.add("wait_seconds", seconds)
+
+    def record_overlap_seconds(self, seconds: float) -> None:
+        """Meter post→wait-entry time a request spent in flight while
+        this rank computed (latency hidden by overlap)."""
+        self.overlap_seconds_by_phase[self._phase] += seconds
+        if self.trace is not None:
+            self.trace.meter(
+                "comm_overlap_seconds", seconds, phase=self._phase
+            )
+        if self.live is not None:
+            self.live.add("overlap_seconds", seconds)
+
     @property
     def total_logical_bytes(self) -> int:
         return sum(self.logical_bytes_by_phase.values())
@@ -199,6 +232,14 @@ class RankStats:
     @property
     def total_decode_seconds(self) -> float:
         return sum(self.decode_seconds_by_phase.values())
+
+    @property
+    def total_wait_seconds(self) -> float:
+        return sum(self.wait_seconds_by_phase.values())
+
+    @property
+    def total_overlap_seconds(self) -> float:
+        return sum(self.overlap_seconds_by_phase.values())
 
     @property
     def total_bytes_sent(self) -> int:
@@ -229,7 +270,8 @@ class RankStats:
         for name in (
             "bytes_by_phase", "messages_by_phase",
             "logical_bytes_by_phase", "encode_seconds_by_phase",
-            "decode_seconds_by_phase",
+            "decode_seconds_by_phase", "wait_seconds_by_phase",
+            "overlap_seconds_by_phase",
         ):
             getattr(st, name).update(snap[name])
         return st
@@ -251,6 +293,8 @@ class RankStats:
             "logical_bytes_by_phase": dict(self.logical_bytes_by_phase),
             "encode_seconds_by_phase": dict(self.encode_seconds_by_phase),
             "decode_seconds_by_phase": dict(self.decode_seconds_by_phase),
+            "wait_seconds_by_phase": dict(self.wait_seconds_by_phase),
+            "overlap_seconds_by_phase": dict(self.overlap_seconds_by_phase),
         }
 
 
@@ -265,6 +309,8 @@ class PhaseBytes:
     total_logical_bytes: int = 0
     encode_seconds: float = 0.0
     decode_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    overlap_seconds: float = 0.0
 
 
 class CommLedger:
@@ -345,6 +391,14 @@ class CommLedger:
             ),
             decode_seconds=sum(
                 s.decode_seconds_by_phase.get(phase, 0.0)
+                for s in self._stats
+            ),
+            wait_seconds=sum(
+                s.wait_seconds_by_phase.get(phase, 0.0)
+                for s in self._stats
+            ),
+            overlap_seconds=sum(
+                s.overlap_seconds_by_phase.get(phase, 0.0)
                 for s in self._stats
             ),
         )

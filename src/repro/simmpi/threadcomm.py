@@ -276,6 +276,32 @@ class ThreadCommunicator(CollectiveOpsMixin, Communicator):
         self._stats.record_recv(nbytes)
         return True, self._ctx.decode(wire, self._stats)
 
+    # -- nonblocking transport hooks (unmetered; see CollectiveOpsMixin) ---------
+    def _nb_post(self, dest: int, tag: int, wire: Any, nbytes: int) -> None:
+        """Deposit a pre-encoded wire directly in *dest*'s mailbox.
+
+        Same ``(wire, nbytes)`` hand-off :meth:`send` performs, minus
+        the p2p metering — the mixin accounts nonblocking collectives
+        as collective traffic, exactly like the board path.
+        """
+        self._ctx.mailboxes[dest].put(self._rank, tag, (wire, nbytes))
+
+    def _nb_wait(self, source: int, tag: int) -> tuple[int, Any, int]:
+        (wire, nbytes), src, _tg = self._ctx.mailboxes[self._rank].get(
+            source, tag, timeout=self._ctx.op_timeout
+        )
+        return src, wire, nbytes
+
+    def _nb_poll(self, source: int, tag: int) -> "tuple[int, Any, int] | None":
+        mb = self._ctx.mailboxes[self._rank]
+        with mb._cond:
+            self._ctx.check_abort()
+            key = mb._match(source, tag)
+            if key is None:
+                return None
+            _seq, (wire, nbytes) = mb._queues[key].popleft()
+        return key[0], wire, nbytes
+
     # -- collective plumbing -----------------------------------------------------
     def _collective_exchange(self, label: str, contribution: Any) -> list[Any]:
         """Two-phase board exchange; returns every rank's *wire* payload.

@@ -123,13 +123,21 @@ def test_merge_bench_reports(tmp_path):
             {"variant": "live_on", "overhead": 1.02},
         ], "identical": True, "host": {"cpus": 8, "load_avg": [0.1] * 3}})
     )
+    (tmp_path / "BENCH_overlap.json").write_text(
+        json.dumps({"rows": [
+            {"variant": "blocking", "wait_seconds": 2.0},
+            {"variant": "overlap", "wait_seconds": 0.9,
+             "wait_ratio": 0.45, "throughput_ratio": 1.3},
+        ], "identical": True, "multi_core": True,
+            "host": {"cpus": 8, "load_avg": [0.1] * 3}})
+    )
     (tmp_path / "unrelated.json").write_text("{}")
     out = tmp_path / "report.json"
     report = merge_bench_reports(tmp_path, out)
-    assert report["count"] == 9
+    assert report["count"] == 10
     assert sorted(report["benchmarks"]) == [
-        "incremental", "ingest", "live", "obs", "procs", "rebalance",
-        "swap", "sweep", "wire"
+        "incremental", "ingest", "live", "obs", "overlap", "procs",
+        "rebalance", "swap", "sweep", "wire"
     ]
     assert (
         report["benchmarks"]["incremental"]["rows"][0]["work_speedup"]
@@ -146,6 +154,7 @@ def test_merge_bench_reports(tmp_path):
         == 2.3
     )
     assert report["benchmarks"]["live"]["rows"][1]["overhead"] == 1.02
+    assert report["benchmarks"]["overlap"]["rows"][1]["wait_ratio"] == 0.45
     # host stamps survive the merge untouched
     assert report["benchmarks"]["procs"]["host"]["platform"] == "Linux-test"
     assert report["benchmarks"]["rebalance"]["host"]["cpus"] == 8

@@ -255,6 +255,60 @@ class TestLiveStatus:
         finally:
             plane.close(unlink=True)
 
+    def test_watch_exits_first_snapshot_multirank_mixed_terminal(
+        self, capsys
+    ):
+        # Regression: a fully-terminal multi-rank plane (mixed DONE and
+        # FAILED) must end the watch on the *first* snapshot — it must
+        # not sleep out even one --interval period, however large.
+        import time
+
+        from repro.obs.live import STATUS_DONE, STATUS_FAILED, LivePlane
+
+        plane = LivePlane(3, shared=True, run_id="cli-watch-mixed")
+        try:
+            plane.publish()
+            plane.mark_status(0, STATUS_DONE)
+            plane.mark_status(1, STATUS_FAILED)
+            plane.mark_status(2, STATUS_DONE)
+            t0 = time.monotonic()
+            rc = main(["watch", "cli-watch-mixed", "--interval", "60"])
+            elapsed = time.monotonic() - t0
+            assert rc == 0
+            assert "terminal status" in capsys.readouterr().out
+            assert elapsed < 30.0, "watch slept an interval before exiting"
+        finally:
+            plane.close(unlink=True)
+
+    def test_watch_keeps_running_while_any_rank_live(self, capsys):
+        # The converse guard: one still-RUNNING rank among terminal
+        # peers keeps the watch alive past its first snapshot.
+        import threading
+        import time
+
+        from repro.obs.live import STATUS_DONE, LivePlane
+
+        plane = LivePlane(2, shared=True, run_id="cli-watch-live")
+        try:
+            plane.publish()
+            plane.mark_status(0, STATUS_DONE)  # rank 1 still running
+
+            def finish():
+                time.sleep(0.3)
+                plane.mark_status(1, STATUS_DONE)
+
+            t = threading.Thread(target=finish)
+            t.start()
+            t0 = time.monotonic()
+            rc = main(["watch", "cli-watch-live", "--interval", "0.05"])
+            elapsed = time.monotonic() - t0
+            t.join()
+            assert rc == 0
+            assert "terminal status" in capsys.readouterr().out
+            assert elapsed >= 0.25, "watch exited before the run finished"
+        finally:
+            plane.close(unlink=True)
+
     def test_update_live_flag(self, tmp_path, capsys):
         path = tmp_path / "g.txt"
         write_edgelist(ring_of_cliques(4, 5).graph, path)

@@ -93,6 +93,78 @@ class TestShmRing:
         finally:
             ring.close(unlink=True)
 
+    def test_spin_phase_catches_prompt_record(self):
+        # A record posted by another thread while the consumer is in
+        # its spin phase is picked up without waiting out a poll slice.
+        import threading
+
+        ctx = mp.get_context()
+        ring = ShmRing(16 * 1024, ctx=ctx)
+        try:
+            t = threading.Timer(
+                0.005, lambda: ring.put(1, 2, [b"hot"], 3)
+            )
+            t.start()
+            assert ring.get(timeout=5.0) == (1, 2, b"hot")
+            t.join()
+        finally:
+            ring.close(unlink=True)
+
+    def test_spin_budget_env_override(self, monkeypatch):
+        from repro.simmpi import shm
+
+        monkeypatch.setattr(shm, "_spin_budget_cache", None)
+        monkeypatch.setenv("REPRO_SHM_SPIN", "7")
+        assert shm._spin_budget() == 7
+        monkeypatch.setattr(shm, "_spin_budget_cache", None)
+        monkeypatch.setenv("REPRO_SHM_SPIN", "not-a-number")
+        assert shm._spin_budget() == shm._SPIN_DEFAULT
+        monkeypatch.setattr(shm, "_spin_budget_cache", None)
+        monkeypatch.setenv("REPRO_SHM_SPIN", "0")
+        assert shm._spin_budget() == 0
+        monkeypatch.setattr(shm, "_spin_budget_cache", None)
+        monkeypatch.delenv("REPRO_SHM_SPIN")
+        assert shm._spin_budget() == shm._SPIN_DEFAULT
+        monkeypatch.setattr(shm, "_spin_budget_cache", None)
+
+    @pytest.mark.parametrize("spin", ["0", "100000"])
+    def test_abort_noticed_during_empty_get(self, monkeypatch, spin):
+        # Abort-responsiveness regression: poll() must run in both the
+        # spin phase and the sliced-wait phase, so an abort raised
+        # while a rank is parked on an empty ring surfaces promptly —
+        # with spinning disabled and with a spin budget big enough to
+        # cover the whole window.
+        import threading
+        import time as _time
+
+        from repro.simmpi import shm
+
+        monkeypatch.setattr(shm, "_spin_budget_cache", None)
+        monkeypatch.setenv("REPRO_SHM_SPIN", spin)
+        ctx = mp.get_context()
+        ring = ShmRing(16 * 1024, ctx=ctx)
+        flag = {"aborted": False}
+
+        def poll():
+            if flag["aborted"]:
+                raise RuntimeError("abort noticed")
+
+        try:
+            t = threading.Timer(
+                0.05, lambda: flag.update(aborted=True)
+            )
+            t.start()
+            t0 = _time.monotonic()
+            with pytest.raises(RuntimeError, match="abort noticed"):
+                ring.get(timeout=30.0, poll=poll)
+            elapsed = _time.monotonic() - t0
+            t.join()
+            # Noticed within a couple of poll slices, not the timeout.
+            assert elapsed < 5.0
+        finally:
+            monkeypatch.setattr(shm, "_spin_budget_cache", None)
+            ring.close(unlink=True)
+
 
 class TestShmControl:
     def test_first_writer_wins(self):
